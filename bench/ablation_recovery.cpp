@@ -1,0 +1,55 @@
+// Ablation: lazy versus aggressive recovery (Section III-D). A failure
+// at TS 4 is replaced at TS 8; the per-step read response around the
+// replacement shows the aggressive rebuild burst versus the lazy sweep.
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "workloads/synthetic.hpp"
+
+using namespace corec;
+using namespace corec::workloads;
+using corec::bench::FailurePlan;
+
+namespace {
+
+std::vector<double> run(Mechanism mechanism, double mtbf) {
+  MechanismParams params;
+  params.recovery.mtbf_seconds = mtbf;
+  params.recovery.sweep_batches = 8;
+  FailurePlan plan{{{4, 2, false}, {8, 2, true}}};
+  SyntheticOptions o;
+  auto out = bench::run_mechanism(table1_service_options(), mechanism,
+                                  params, make_synthetic_case(5, o),
+                                  plan);
+  std::vector<double> reads;
+  for (const auto& s : out.metrics.steps) {
+    reads.push_back(s.read_response.mean() * 1e3);
+  }
+  return reads;
+}
+
+}  // namespace
+
+int main() {
+  bench::header("Ablation — lazy vs aggressive recovery",
+                "Sec. III-D; failure TS 4, replacement TS 8");
+  auto lazy = run(Mechanism::kCorec, 0.36);
+  auto aggressive = run(Mechanism::kCorecAggressive, 0.36);
+  std::printf("%4s %12s %16s\n", "TS", "lazy(ms)", "aggressive(ms)");
+  for (std::size_t ts = 0; ts < lazy.size(); ++ts) {
+    std::printf("%4zu %12.3f %16.3f\n", ts, lazy[ts], aggressive[ts]);
+  }
+  double lazy_peak = 0, aggr_peak = 0;
+  for (std::size_t ts = 8; ts < lazy.size(); ++ts) {
+    lazy_peak = std::max(lazy_peak, lazy[ts]);
+    aggr_peak = std::max(aggr_peak, aggressive[ts]);
+  }
+  std::printf("\nPost-replacement peak: lazy %.3f ms vs aggressive "
+              "%.3f ms (%.1fx)\n",
+              lazy_peak, aggr_peak, aggr_peak / lazy_peak);
+  std::printf("Shape check: aggressive recovery rebuilds everything at\n"
+              "TS 8 and the read spike shows it; the lazy sweep spreads\n"
+              "the same repairs over the MTBF/4 deadline.\n");
+  return 0;
+}

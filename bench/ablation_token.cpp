@@ -1,0 +1,60 @@
+// Ablation: the load-balancing & conflict-avoiding encoding workflow
+// (Section III-B). Runs the write-intensive case 1 with each workflow
+// feature toggled and reports write response, token wait, helper
+// offloads, and the background work volume.
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+#include "core/corec_scheme.hpp"
+#include "workloads/synthetic.hpp"
+
+using namespace corec;
+using namespace corec::workloads;
+
+namespace {
+
+struct Config {
+  const char* label;
+  bool load_balance;
+  bool conflict_avoid;
+};
+
+void run(const Config& cfg) {
+  core::CorecOptions opts;
+  opts.workflow.load_balance = cfg.load_balance;
+  opts.workflow.conflict_avoid = cfg.conflict_avoid;
+  sim::Simulation sim;
+  staging::StagingService service(table1_service_options(), &sim,
+                                  core::make_corec(opts));
+  WorkloadDriver driver(&service);
+  SyntheticOptions o;
+  auto metrics = driver.run(make_synthetic_case(1, o));
+  auto* corec = dynamic_cast<core::CorecScheme*>(&service.scheme());
+  std::printf("  %-24s %11.3f %12.4f %9llu %12.4f\n", cfg.label,
+              metrics.avg_write_response() * 1e3,
+              to_seconds(corec->workflow().token_wait()),
+              static_cast<unsigned long long>(
+                  corec->workflow().offloads()),
+              to_seconds(corec->stats().background.encode));
+}
+
+}  // namespace
+
+int main() {
+  bench::header("Ablation — encoding workflow (token + load balance)",
+                "Sec. III-B, Fig. 6; write-intensive case 1");
+  std::printf("  %-24s %11s %12s %9s %12s\n", "configuration",
+              "write(ms)", "tokenWait(s)", "offloads", "bgEncode(s)");
+  for (Config cfg : {Config{"full workflow", true, true},
+                     Config{"no load balance", false, true},
+                     Config{"no token", true, false},
+                     Config{"neither", false, false}}) {
+    run(cfg);
+  }
+  std::printf(
+      "\nShape check: the token serializes same-group transitions\n"
+      "(token wait > 0 only when conflict avoidance is on); helper\n"
+      "offloads appear only with load balancing; client write response\n"
+      "stays flat because transitions are off the write path.\n");
+  return 0;
+}

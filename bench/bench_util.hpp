@@ -1,0 +1,70 @@
+// Shared helpers for the figure-reproduction benches: aligned table
+// printing and common run wrappers.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "workloads/driver.hpp"
+#include "workloads/mechanisms.hpp"
+
+namespace corec::bench {
+
+/// Prints a horizontal rule sized to `width`.
+inline void rule(int width = 78) {
+  for (int i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+/// Prints a bench header block.
+inline void header(const std::string& title, const std::string& paper_ref) {
+  rule();
+  std::printf("%s\n", title.c_str());
+  std::printf("reproduces: %s\n", paper_ref.c_str());
+  rule();
+}
+
+/// One full workload run against a fresh service.
+struct RunOutput {
+  workloads::RunMetrics metrics;
+  double storage_efficiency = 1.0;
+};
+
+/// Runs `plan` under `mechanism` with failure hooks applied.
+/// `hooks` maps step -> action; actions reference the live service.
+struct FailurePlan {
+  struct Event {
+    Version step;
+    ServerId server;
+    bool replace;  // false = kill
+  };
+  std::vector<Event> events;
+};
+
+inline RunOutput run_mechanism(const staging::ServiceOptions& service_opts,
+                               workloads::Mechanism mechanism,
+                               const workloads::MechanismParams& params,
+                               const workloads::WorkloadPlan& plan,
+                               const FailurePlan& failures = {},
+                               const workloads::DriverOptions& driver_opts =
+                                   {}) {
+  sim::Simulation sim;
+  staging::StagingService service(
+      service_opts, &sim, workloads::make_scheme(mechanism, params));
+  workloads::WorkloadDriver driver(&service, driver_opts);
+  for (const auto& ev : failures.events) {
+    ServerId s = ev.server;
+    if (ev.replace) {
+      driver.add_hook(ev.step, [&service, s] { service.replace_server(s); });
+    } else {
+      driver.add_hook(ev.step, [&service, s] { service.kill_server(s); });
+    }
+  }
+  RunOutput out;
+  out.metrics = driver.run(plan);
+  out.storage_efficiency = out.metrics.storage_efficiency;
+  return out;
+}
+
+}  // namespace corec::bench

@@ -1,0 +1,66 @@
+// Figure 4 reproduction: analytic relative write/update cost versus hot
+// data percentage for erasure coding, replication, simple hybrid
+// coding, and CoREC with miss ratios r_m in {0, 0.1, 0.2}, using the
+// paper's RS(4,3) setting (N_node = k = 3, N_level = m = 1) and the
+// S = 0.67 storage constraint.
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+#include "core/model.hpp"
+
+using corec::core::AnalyticModel;
+using corec::core::ModelParams;
+
+int main() {
+  corec::bench::header(
+      "Figure 4 — analytic relative write cost vs hot-data percentage",
+      "Sec. II-D, eqs. (1),(3)-(5),(8),(9); RS(4,3), S = 0.67");
+
+  ModelParams base;
+  base.n_level = 1;
+  base.n_node = 3;
+  base.S = 0.67;
+
+  AnalyticModel reference(base);
+  double knee = reference.p_r_at_constraint();
+  std::printf("C_r (replication unit cost)  = %.3f\n",
+              reference.cost_replica_unit());
+  std::printf("C_e (erasure unit cost)      = %.3f\n",
+              reference.cost_erasure_unit());
+  std::printf("P_r at constraint (knee, marker 2) = %.4f\n\n", knee);
+
+  std::printf("%6s %10s %10s %10s %12s %12s %12s\n", "P_h", "C_replica",
+              "C_erasure", "C_hybrid", "CoREC r=0.0", "CoREC r=0.1",
+              "CoREC r=0.2");
+  for (int i = 0; i <= 20; ++i) {
+    double ph = i * 0.05;
+    double corec_r0, corec_r1, corec_r2;
+    {
+      ModelParams p = base;
+      p.r_m = 0.0;
+      corec_r0 = AnalyticModel(p).cost_corec(ph);
+      p.r_m = 0.1;
+      corec_r1 = AnalyticModel(p).cost_corec(ph);
+      p.r_m = 0.2;
+      corec_r2 = AnalyticModel(p).cost_corec(ph);
+    }
+    std::printf("%6.2f %10.3f %10.3f %10.3f %12.3f %12.3f %12.3f\n", ph,
+                reference.cost_replication(ph),
+                reference.cost_erasure(ph), reference.cost_hybrid(ph),
+                corec_r0, corec_r1, corec_r2);
+  }
+
+  std::printf("\nGain over simple hybrid (eq. 6, ideal classifier):\n");
+  std::printf("%6s %10s\n", "P_h", "Gain");
+  for (int i = 0; i <= 10; ++i) {
+    double ph = i * 0.1;
+    std::printf("%6.2f %10.3f\n", ph, reference.gain(ph));
+  }
+
+  std::printf("\nShape check: marker 1 (P_h=0): CoREC == all-cold erasure"
+              " cost: %.3f == %.3f\n",
+              reference.cost_corec(0.0), reference.cost_erasure(0.0));
+  std::printf("Shape check: knee at P_h = %.3f separates the"
+              " replication-slope and erasure-slope regimes.\n", knee);
+  return 0;
+}

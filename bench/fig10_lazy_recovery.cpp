@@ -1,0 +1,94 @@
+// Figure 10 reproduction: per-time-step read response while reading the
+// entire domain over 20 time steps, with
+//   single-failure run:  failure at TS 4, lazy recovery starting TS 8;
+//   double-failure run:  failures at TS 4 and 6, recoveries at TS 8
+//                        and 12.
+// The lazy sweep is configured to finish within about one time step
+// (recovery "ends at time steps 9 and 13" in the paper). An aggressive
+// baseline is printed alongside to show the recovery burst it causes.
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "workloads/synthetic.hpp"
+
+using namespace corec;
+using namespace corec::workloads;
+using corec::bench::FailurePlan;
+
+namespace {
+
+std::vector<double> per_step_reads(Mechanism mechanism,
+                                   const FailurePlan& failures,
+                                   double mtbf_seconds) {
+  MechanismParams params;
+  params.recovery.mtbf_seconds = mtbf_seconds;
+  params.recovery.sweep_batches = 8;
+  SyntheticOptions o;  // case 5: write once, read everything every step
+  auto out = bench::run_mechanism(table1_service_options(), mechanism,
+                                  params, make_synthetic_case(5, o),
+                                  failures);
+  std::vector<double> reads;
+  for (const auto& step : out.metrics.steps) {
+    reads.push_back(step.read_response.mean() * 1e3);
+  }
+  return reads;
+}
+
+}  // namespace
+
+int main() {
+  bench::header("Figure 10 — read response around failures and lazy "
+                "recovery",
+                "Sec. IV-1, Fig. 10: failures TS 4 & 6, recoveries TS 8 "
+                "& 12");
+
+  // Lazy sweep deadline = mtbf/4; one time step here spans roughly
+  // 30 ms of virtual time, so mtbf = 0.36 s makes recovery finish
+  // within about one step of its start (paper: 8 -> 9, 12 -> 13).
+  const double mtbf = 0.36;
+
+  FailurePlan one{{{4, 2, false}, {8, 2, true}}};
+  FailurePlan two{{{4, 2, false}, {6, 5, false}, {8, 2, true},
+                   {12, 5, true}}};
+
+  auto healthy = per_step_reads(Mechanism::kCorec, {}, mtbf);
+  auto corec1 = per_step_reads(Mechanism::kCorec, one, mtbf);
+  auto corec2 = per_step_reads(Mechanism::kCorec, two, mtbf);
+  auto erasure1 = per_step_reads(Mechanism::kErasure, one, mtbf);
+  auto erasure2 = per_step_reads(Mechanism::kErasure, two, mtbf);
+
+  std::printf("%4s %12s %12s %12s %13s %13s\n", "TS", "CoREC(ok)",
+              "CoREC 1f", "CoREC 2f", "Erasure+1f", "Erasure+2f");
+  for (std::size_t ts = 0; ts < healthy.size(); ++ts) {
+    std::printf("%4zu %11.3f %12.3f %12.3f %13.3f %13.3f\n", ts,
+                healthy[ts], corec1[ts], corec2[ts], erasure1[ts],
+                erasure2[ts]);
+  }
+
+  // Summary percentages matching the paper's reporting.
+  auto mean_range = [](const std::vector<double>& v, std::size_t lo,
+                       std::size_t hi) {
+    double sum = 0;
+    for (std::size_t i = lo; i < hi; ++i) sum += v[i];
+    return sum / static_cast<double>(hi - lo);
+  };
+  double base = mean_range(healthy, 0, 4);
+  double degraded1 = mean_range(corec1, 4, 8);
+  double degraded2 = mean_range(corec2, 6, 8);
+  double tail1 = mean_range(corec1, 14, 20);
+  double tail2 = mean_range(corec2, 14, 20);
+  std::printf("\nDegraded-mode read increase: 1 failure %+.1f%%, 2 "
+              "failures %+.1f%%\n",
+              (degraded1 / base - 1.0) * 100.0,
+              (degraded2 / base - 1.0) * 100.0);
+  std::printf("Post-lazy-recovery tail vs healthy: 1f %+.1f%%, 2f "
+              "%+.1f%%\n",
+              (tail1 / base - 1.0) * 100.0,
+              (tail2 / base - 1.0) * 100.0);
+  std::printf("\nShape checks (paper): response rises while degraded,\n"
+              "bumps gently during the lazy sweep (8->9, 12->13), and\n"
+              "returns to the pre-failure level by TS 14; the aggressive\n"
+              "baseline spikes at its recovery steps instead.\n");
+  return 0;
+}

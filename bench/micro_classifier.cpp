@@ -1,0 +1,101 @@
+// Microbenchmark: classifier decision throughput and, as a report, the
+// classification accuracy (miss ratio) on the synthetic access
+// patterns — the r_m knob of the Section II-D model measured on the
+// real classifier.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "core/classifier.hpp"
+#include "workloads/synthetic.hpp"
+
+namespace {
+
+using corec::core::AccessClassifier;
+using corec::core::ClassifierOptions;
+using namespace corec;
+
+geom::BoundingBox block_at(geom::Coord i) {
+  geom::Coord base = (i % 64) * 8;
+  return geom::BoundingBox::cube(base, 0, 0, base + 7, 7, 7);
+}
+
+void BM_RecordWrite(benchmark::State& state) {
+  AccessClassifier c(ClassifierOptions{});
+  Version step = 0;
+  geom::Coord i = 0;
+  for (auto _ : state) {
+    c.record_write(1, block_at(i++), step);
+    if (i % 64 == 0) {
+      c.end_of_step(step);
+      ++step;
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_RecordWrite);
+
+void BM_IsHot(benchmark::State& state) {
+  AccessClassifier c(ClassifierOptions{});
+  for (geom::Coord i = 0; i < 64; ++i) c.record_write(1, block_at(i), 0);
+  geom::Coord i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(c.is_hot(1, block_at(i++), 2));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_IsHot);
+
+void BM_PredictedNextWrite(benchmark::State& state) {
+  AccessClassifier c(ClassifierOptions{});
+  for (Version s = 0; s < 12; ++s) {
+    for (geom::Coord i = 0; i < 64; ++i) {
+      if (static_cast<Version>(i % 4) == s % 4) {
+        c.record_write(1, block_at(i), s);
+      }
+    }
+    c.end_of_step(s);
+  }
+  geom::Coord i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(c.predicted_next_write(1, block_at(i++), 13));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_PredictedNextWrite);
+
+/// Not a timing benchmark: measures the classifier miss ratio on each
+/// synthetic case — hot writes predicted cold (misses) over total hot
+/// writes — and reports it via benchmark counters.
+void BM_MissRatio(benchmark::State& state) {
+  int case_number = static_cast<int>(state.range(0));
+  double miss_ratio = 0.0;
+  for (auto _ : state) {
+    AccessClassifier c(ClassifierOptions{});
+    corec::workloads::SyntheticOptions o;
+    o.time_steps = 20;
+    auto plan = corec::workloads::make_synthetic_case(case_number, o);
+    std::size_t writes = 0, misses = 0;
+    for (Version s = 0; s < plan.steps.size(); ++s) {
+      for (const auto& w : plan.steps[s].writes) {
+        // A "miss" is a write to a region the classifier had cold
+        // (ignoring first-ever writes, which are unknowable).
+        if (c.find(w.var, w.box) != nullptr) {
+          ++writes;
+          if (!c.is_hot(w.var, w.box, s)) ++misses;
+        }
+        c.record_write(w.var, w.box, s);
+      }
+      c.end_of_step(s);
+    }
+    miss_ratio = writes ? static_cast<double>(misses) /
+                              static_cast<double>(writes)
+                        : 0.0;
+  }
+  state.counters["miss_ratio"] = miss_ratio;
+}
+BENCHMARK(BM_MissRatio)->DenseRange(1, 4);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,68 @@
+// Microbenchmark: GF(2^8) kernel throughput — the region operations
+// that dominate Reed-Solomon encode/decode cost. Feeds the cost-model
+// calibration (net::calibrate_encode_rate).
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "gf/gf256.hpp"
+
+namespace {
+
+std::vector<std::uint8_t> make_buf(std::size_t n, unsigned salt) {
+  std::vector<std::uint8_t> b(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    b[i] = static_cast<std::uint8_t>(i * 31 + salt);
+  }
+  return b;
+}
+
+void BM_RegionMulAdd(benchmark::State& state) {
+  std::size_t n = static_cast<std::size_t>(state.range(0));
+  auto src = make_buf(n, 1);
+  auto dst = make_buf(n, 2);
+  std::uint8_t c = 0x57;
+  for (auto _ : state) {
+    corec::gf::region_mul_add(c, src, dst);
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_RegionMulAdd)->Range(1 << 10, 1 << 22);
+
+void BM_RegionXor(benchmark::State& state) {
+  std::size_t n = static_cast<std::size_t>(state.range(0));
+  auto src = make_buf(n, 3);
+  auto dst = make_buf(n, 4);
+  for (auto _ : state) {
+    corec::gf::region_xor(src, dst);
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_RegionXor)->Range(1 << 10, 1 << 22);
+
+void BM_ScalarMul(benchmark::State& state) {
+  std::uint8_t acc = 1;
+  for (auto _ : state) {
+    acc = corec::gf::mul(acc, 0x1d);
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(BM_ScalarMul);
+
+void BM_ScalarInv(benchmark::State& state) {
+  std::uint8_t v = 1;
+  for (auto _ : state) {
+    v = corec::gf::inv(v);
+    v = static_cast<std::uint8_t>(v | 1);  // keep nonzero
+    benchmark::DoNotOptimize(v);
+  }
+}
+BENCHMARK(BM_ScalarInv);
+
+}  // namespace
+
+BENCHMARK_MAIN();

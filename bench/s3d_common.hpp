@@ -1,0 +1,176 @@
+// Shared implementation of the S3D coupled-workflow experiment behind
+// Figures 11 and 12 (Table II configurations). Produces cumulative
+// read/write response times for: PFS-based S3D (no staging), staging
+// without resilience, replication, erasure coding (+failures), and
+// CoREC (+failures).
+#pragma once
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "ckpt/pfs.hpp"
+#include "workloads/s3d.hpp"
+
+namespace corec::bench {
+
+struct S3dResult {
+  std::string label;
+  double cumulative_write_s = 0;  // sum over steps of mean put response
+  double cumulative_read_s = 0;
+  double storage_efficiency = 1.0;
+};
+
+/// Sums per-step mean responses (the paper's cumulative time over
+/// 20 time steps).
+inline void accumulate(const workloads::RunMetrics& m, S3dResult* out) {
+  for (const auto& step : m.steps) {
+    out->cumulative_write_s += step.write_response.mean();
+    out->cumulative_read_s += step.read_response.mean();
+  }
+  out->storage_efficiency = m.storage_efficiency;
+}
+
+/// The PFS-based S3D baseline: every rank writes its block straight to
+/// the parallel file system each step; analysis reads come back from
+/// the PFS as well. No staging servers are involved.
+inline S3dResult run_pfs_baseline(const workloads::S3dConfig& config) {
+  S3dResult result{"S3D-PFS"};
+  net::CostModel cost;
+  ckpt::PfsModel pfs(cost);
+  auto plan = workloads::make_s3d_plan(config);
+  SimTime t = 0;
+  for (const auto& step : plan.steps) {
+    // Writers burst simultaneously; the PFS serializes them.
+    double sum = 0;
+    SimTime phase_end = t;
+    for (const auto& w : step.writes) {
+      std::size_t bytes =
+          static_cast<std::size_t>(w.box.volume()) * plan.element_size;
+      SimTime done = pfs.write(bytes, t);
+      sum += to_seconds(done - t);
+      phase_end = std::max(phase_end, done);
+    }
+    result.cumulative_write_s += sum / static_cast<double>(
+                                           step.writes.size());
+    t = phase_end;
+    sum = 0;
+    phase_end = t;
+    for (const auto& r : step.reads) {
+      std::size_t bytes =
+          static_cast<std::size_t>(r.box.volume()) * plan.element_size;
+      SimTime done = pfs.read(bytes, t);
+      sum += to_seconds(done - t);
+      phase_end = std::max(phase_end, done);
+    }
+    if (!step.reads.empty()) {
+      result.cumulative_read_s += sum / static_cast<double>(
+                                            step.reads.size());
+    }
+    t = phase_end + from_seconds(2.5);  // compute phase
+  }
+  return result;
+}
+
+inline S3dResult run_staging(const std::string& label,
+                             const workloads::S3dConfig& config,
+                             workloads::Mechanism mechanism,
+                             const FailurePlan& failures = {}) {
+  S3dResult result{label};
+  workloads::MechanismParams params;
+  params.recovery.mtbf_seconds = 2.0;
+  auto out = run_mechanism(workloads::s3d_service_options(config),
+                           mechanism, params,
+                           workloads::make_s3d_plan(config), failures);
+  accumulate(out.metrics, &result);
+  return result;
+}
+
+/// Runs the full mechanism suite for one Table II configuration.
+inline std::vector<S3dResult> run_scale(const workloads::S3dConfig& config) {
+  FailurePlan one{{{4, 2, false}, {8, 2, true}}};
+  FailurePlan two{{{4, 2, false}, {6, 9, false}, {8, 2, true},
+                   {12, 9, true}}};
+  std::vector<S3dResult> rows;
+  rows.push_back(run_pfs_baseline(config));
+  rows.push_back(run_staging("DataSpaces", config,
+                             workloads::Mechanism::kNone));
+  rows.push_back(run_staging("Replicate", config,
+                             workloads::Mechanism::kReplication));
+  rows.push_back(run_staging("Erasure", config,
+                             workloads::Mechanism::kErasure));
+  rows.push_back(run_staging("CoREC", config,
+                             workloads::Mechanism::kCorec));
+  rows.push_back(run_staging("CoREC+1f", config,
+                             workloads::Mechanism::kCorec, one));
+  rows.push_back(run_staging("CoREC+2f", config,
+                             workloads::Mechanism::kCorec, two));
+  rows.push_back(run_staging("Erasure+1f", config,
+                             workloads::Mechanism::kErasure, one));
+  rows.push_back(run_staging("Erasure+2f", config,
+                             workloads::Mechanism::kErasure, two));
+  return rows;
+}
+
+inline void print_table2(const workloads::S3dConfig& c,
+                         std::size_t total_cores) {
+  double gib = static_cast<double>(c.bytes_per_step()) / (1u << 30);
+  std::printf("Table II column — %zu cores: sim %zu (%zux%zux%zu), "
+              "staging %zu, analysis %zu, volume %lldx%lldx%lld, "
+              "%.2f GB/step, RS(3+1), S=67%%\n",
+              total_cores, c.sim_cores(), c.sim_cores_x, c.sim_cores_y,
+              c.sim_cores_z, c.staging_cores, c.analysis_cores,
+              static_cast<long long>(c.domain_x()),
+              static_cast<long long>(c.domain_y()),
+              static_cast<long long>(c.domain_z()), gib);
+}
+
+/// Shared main body; `print_reads` selects Fig. 11 (reads) vs Fig. 12
+/// (writes). `--full` runs the paper-size 64^3 blocks instead of the
+/// scaled 16^3 default.
+inline int s3d_main(int argc, char** argv, bool print_reads) {
+  bool full = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--full") == 0) full = true;
+  }
+  geom::Coord scale_factor = full ? 1 : 4;
+
+  struct Scenario {
+    std::size_t total_cores;
+    workloads::S3dConfig config;
+  };
+  std::vector<Scenario> scenarios{
+      {4480, workloads::s3d_4480()},
+      {8960, workloads::s3d_8960()},
+      {17920, workloads::s3d_17920()},
+  };
+
+  for (auto& s : scenarios) {
+    s.config = workloads::scaled(s.config, scale_factor);
+    print_table2(s.config, s.total_cores);
+  }
+  if (!full) {
+    std::printf("(scaled run: 16^3 blocks per rank — pass --full for "
+                "paper-size 64^3 volumes)\n");
+  }
+  std::printf("\n");
+
+  for (const auto& s : scenarios) {
+    std::printf("%zu cores — cumulative %s response over 20 TS:\n",
+                s.total_cores, print_reads ? "read" : "write");
+    auto rows = run_scale(s.config);
+    for (const auto& row : rows) {
+      double value =
+          print_reads ? row.cumulative_read_s : row.cumulative_write_s;
+      std::printf("  %-12s %10.4f s   (storage eff %3.0f%%)\n",
+                  row.label.c_str(), value,
+                  row.storage_efficiency * 100.0);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
+
+}  // namespace corec::bench

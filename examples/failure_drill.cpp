@@ -1,0 +1,91 @@
+// Failure drill: hammer a CoREC staging cluster with an MTBF-driven
+// random failure/replacement process while a workload keeps writing
+// and reading, then audit that no byte was ever lost or corrupted and
+// show how degraded reads and lazy recovery behaved.
+//
+//   ./build/examples/failure_drill [seed]
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/corec_scheme.hpp"
+#include "net/failure.hpp"
+#include "workloads/driver.hpp"
+#include "workloads/mechanisms.hpp"
+#include "workloads/synthetic.hpp"
+
+using namespace corec;
+using namespace corec::workloads;
+
+int main(int argc, char** argv) {
+  std::uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10)
+                                : 2024;
+
+  auto options = table1_service_options();
+  options.domain = geom::BoundingBox::cube(0, 0, 0, 31, 31, 31);
+  options.fit.target_bytes = 2048;
+
+  MechanismParams params;
+  params.recovery.mtbf_seconds = 0.4;  // fast lazy sweeps
+
+  sim::Simulation sim;
+  staging::StagingService service(options, &sim,
+                                  make_scheme(Mechanism::kCorec, params));
+
+  // MTBF-driven fault process: on average one failure every 40 ms of
+  // virtual time (brutal compared to real systems, on purpose),
+  // replacement 20 ms later.
+  Rng fault_rng(seed);
+  net::FailureInjector injector(
+      &sim,
+      [&service](ServerId s) {
+        std::printf("  !! server %u failed at t=%.1f ms\n", s,
+                    to_millis(service.sim().now()));
+        service.kill_server(s);
+      },
+      [&service](ServerId s) {
+        std::printf("  ++ server %u replaced at t=%.1f ms\n", s,
+                    to_millis(service.sim().now()));
+        service.replace_server(s);
+      });
+  auto script = injector.schedule_mtbf(
+      /*mtbf_seconds=*/0.04, from_seconds(0.01), from_seconds(0.5),
+      service.num_servers(), from_seconds(0.02), &fault_rng);
+  std::printf("failure drill: %zu scripted events, seed %llu\n\n",
+              script.size(), static_cast<unsigned long long>(seed));
+
+  SyntheticOptions workload;
+  workload.domain_extent = 32;
+  workload.writer_grid = 2;
+  workload.readers = 8;
+  workload.time_steps = 16;
+
+  WorkloadDriver driver(&service, {.verify_reads = true});
+  auto metrics = driver.run(make_synthetic_case(3, workload));
+
+  std::printf("\nper-step read response (ms):\n ");
+  for (const auto& step : metrics.steps) {
+    std::printf(" %.2f", step.read_response.mean() * 1e3);
+  }
+  std::printf("\n\naudit: %zu writes, %zu reads, %zu verified, "
+              "%zu corrupt, %zu lost\n",
+              metrics.total_writes, metrics.total_reads,
+              metrics.total_reads - metrics.data_loss_reads(),
+              metrics.corrupt_reads(), metrics.data_loss_reads());
+  std::printf("repair backlog at end: %zu\n",
+              service.scheme().repair_backlog());
+
+  if (metrics.corrupt_reads() != 0) {
+    std::printf("FAIL: corruption detected\n");
+    return 1;
+  }
+  if (metrics.data_loss_reads() != 0) {
+    std::printf("note: %zu reads hit data loss — with MTBF this low,\n"
+                "simultaneous failures can exceed the m=1 tolerance;\n"
+                "raise k/m or n_level to survive deeper overlaps.\n",
+                metrics.data_loss_reads());
+  } else {
+    std::printf("PASS: every read byte-exact despite %zu failures\n",
+                script.size() / 2);
+  }
+  return 0;
+}

@@ -1,0 +1,82 @@
+#include "ckpt/checkpoint.hpp"
+
+#include <algorithm>
+
+namespace corec::ckpt {
+
+CheckpointDriver::CheckpointDriver(staging::StagingService* service,
+                                   PfsModel* pfs,
+                                   const CheckpointOptions& options)
+    : service_(service), pfs_(pfs), options_(options) {}
+
+void CheckpointDriver::schedule_until(SimTime end) {
+  // Self-rescheduling: the next checkpoint is armed `period` after the
+  // previous one *completes*, so a flush that overruns the period
+  // (large staged volumes on a slow PFS) never stacks concurrent
+  // checkpoints on the PFS queue.
+  auto& sim = service_->sim();
+  SimTime first = sim.now() + options_.period;
+  if (first >= end) return;
+  sim.at(first, [this, end] {
+    SimTime done = checkpoint(service_->sim().now());
+    schedule_followup(done, end);
+  });
+}
+
+void CheckpointDriver::schedule_followup(SimTime completed, SimTime end) {
+  SimTime next = std::max(completed, service_->sim().now()) +
+                 options_.period;
+  if (next >= end) return;
+  service_->sim().at(next, [this, end] {
+    SimTime d = checkpoint(service_->sim().now());
+    schedule_followup(d, end);
+  });
+}
+
+SimTime CheckpointDriver::checkpoint(SimTime start) {
+  SimTime done = start;
+  std::size_t bytes_total = 0;
+  for (std::size_t s = 0; s < service_->num_servers(); ++s) {
+    auto id = static_cast<ServerId>(s);
+    if (!service_->alive(id)) continue;
+    std::size_t bytes = service_->server(id).store.total_bytes();
+    if (bytes == 0) continue;
+    bytes_total += bytes;
+    // The server streams its store to the PFS; it is busy for the whole
+    // flush (cannot serve client traffic), and the PFS serializes the
+    // concurrent flushes on its aggregate bandwidth.
+    SimTime pfs_done = pfs_->write(bytes, start);
+    SimTime server_done = service_->serve_at(id, start, pfs_done - start);
+    done = std::max(done, server_done);
+  }
+  ++stats_.checkpoints;
+  stats_.total_checkpoint_time += done - start;
+  stats_.bytes_written += bytes_total;
+  last_checkpoint_bytes_ = bytes_total;
+  return done;
+}
+
+SimTime CheckpointDriver::restart(SimTime start) {
+  // Global rollback: read the full checkpoint back and redistribute it
+  // across the staging servers (network cost per server share).
+  std::size_t bytes = last_checkpoint_bytes_;
+  if (bytes == 0) bytes = service_->stored_bytes();
+  SimTime done = pfs_->read(bytes, start);
+  std::size_t servers = std::max<std::size_t>(1, service_->num_alive());
+  std::size_t share = bytes / servers;
+  SimTime redistribute = done;
+  for (std::size_t s = 0; s < service_->num_servers(); ++s) {
+    auto id = static_cast<ServerId>(s);
+    if (!service_->alive(id)) continue;
+    SimTime arrive = done + service_->cost().transfer_time(share);
+    redistribute = std::max(
+        redistribute,
+        service_->serve_at(id, arrive,
+                           service_->cost().copy_time(share)));
+  }
+  ++stats_.restarts;
+  stats_.total_restart_time += redistribute - start;
+  return redistribute;
+}
+
+}  // namespace corec::ckpt

@@ -1,0 +1,63 @@
+// Checkpoint/Restart baseline for the staging service (the mechanism
+// Figure 2 shows to be too expensive). Periodically flushes every
+// staging server's store to the PFS; a restart reads the newest
+// checkpoint back and redistributes it. Checkpointing occupies the
+// staging-server queues, so application traffic observes the stall.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "ckpt/pfs.hpp"
+#include "staging/service.hpp"
+
+namespace corec::ckpt {
+
+/// Periodic checkpoint policy.
+struct CheckpointOptions {
+  /// Interval between checkpoints (paper: 4 s, from the S3D discussion
+  /// in Gamell et al.).
+  SimTime period = from_seconds(4.0);
+};
+
+/// Observed checkpoint activity.
+struct CheckpointStats {
+  std::size_t checkpoints = 0;
+  SimTime total_checkpoint_time = 0;  // wall (virtual) time spent
+  std::size_t bytes_written = 0;
+  std::size_t restarts = 0;
+  SimTime total_restart_time = 0;
+};
+
+/// Drives periodic checkpoints of a staging service to a PFS model.
+class CheckpointDriver {
+ public:
+  CheckpointDriver(staging::StagingService* service, PfsModel* pfs,
+                   const CheckpointOptions& options);
+
+  /// Schedules periodic checkpoints over [now, end).
+  void schedule_until(SimTime end);
+
+  /// Synchronously takes one checkpoint at virtual time `start`;
+  /// returns its completion time. Every server flushes its store
+  /// contents to the PFS; servers are busy (queue-occupied) while
+  /// flushing.
+  SimTime checkpoint(SimTime start);
+
+  /// Global restart from the last checkpoint: read everything back
+  /// from the PFS and redistribute to the servers.
+  SimTime restart(SimTime start);
+
+  const CheckpointStats& stats() const { return stats_; }
+
+ private:
+  void schedule_followup(SimTime completed, SimTime end);
+
+  staging::StagingService* service_;
+  PfsModel* pfs_;
+  CheckpointOptions options_;
+  CheckpointStats stats_;
+  std::size_t last_checkpoint_bytes_ = 0;
+};
+
+}  // namespace corec::ckpt

@@ -1,0 +1,37 @@
+// Parallel-file-system model: a single shared service line with
+// Lustre-class request latency and aggregate bandwidth. Concurrent
+// writers from the staging servers (checkpointing) or from S3D ranks
+// (the PFS-based baseline of Figs. 11/12) serialize on it.
+#pragma once
+
+#include "common/types.hpp"
+#include "net/cost_model.hpp"
+#include "net/queueing.hpp"
+
+namespace corec::ckpt {
+
+/// Bandwidth-shared PFS endpoint.
+class PfsModel {
+ public:
+  explicit PfsModel(const net::CostModel& cost) : cost_(cost) {}
+
+  /// One write request of `bytes` arriving at `start`; returns its
+  /// completion time (queueing behind other PFS traffic included).
+  SimTime write(std::size_t bytes, SimTime start) {
+    return queue_.serve(start, cost_.pfs_write_time(bytes));
+  }
+
+  /// One read request (restart path); same service model.
+  SimTime read(std::size_t bytes, SimTime start) {
+    return queue_.serve(start, cost_.pfs_write_time(bytes));
+  }
+
+  /// Total busy time (utilization accounting).
+  SimTime busy_time() const { return queue_.busy_time(); }
+
+ private:
+  net::CostModel cost_;
+  net::ServiceQueue queue_;
+};
+
+}  // namespace corec::ckpt

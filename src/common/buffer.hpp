@@ -1,0 +1,109 @@
+// Byte buffers and a small binary serialization layer used by the staging
+// transport for message payloads and metadata records.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace corec {
+
+/// Owned byte payload of a staged object or wire message.
+using Bytes = std::vector<std::uint8_t>;
+
+/// Read-only view over bytes (non-owning).
+using ByteSpan = std::span<const std::uint8_t>;
+
+/// Mutable view over bytes (non-owning).
+using MutableByteSpan = std::span<std::uint8_t>;
+
+/// Appends POD values and length-prefixed blobs to a growing byte vector.
+/// Little-endian fixed-width encoding: deterministic across platforms we
+/// target and trivially fast.
+class BufferWriter {
+ public:
+  explicit BufferWriter(Bytes* out) : out_(out) {}
+
+  template <typename T>
+  void put(T v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const auto* p = reinterpret_cast<const std::uint8_t*>(&v);
+    out_->insert(out_->end(), p, p + sizeof(T));
+  }
+
+  void put_bytes(ByteSpan data) {
+    put<std::uint64_t>(data.size());
+    out_->insert(out_->end(), data.begin(), data.end());
+  }
+
+  void put_string(const std::string& s) {
+    put<std::uint64_t>(s.size());
+    out_->insert(out_->end(), s.begin(), s.end());
+  }
+
+ private:
+  Bytes* out_;
+};
+
+/// Sequentially decodes values previously written by BufferWriter.
+class BufferReader {
+ public:
+  explicit BufferReader(ByteSpan data) : data_(data) {}
+
+  template <typename T>
+  Status get(T* v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (pos_ + sizeof(T) > data_.size()) {
+      return Status::InvalidArgument("buffer underrun");
+    }
+    std::memcpy(v, data_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return Status::Ok();
+  }
+
+  Status get_bytes(Bytes* out) {
+    std::uint64_t n = 0;
+    COREC_RETURN_IF_ERROR(get(&n));
+    if (pos_ + n > data_.size()) {
+      return Status::InvalidArgument("buffer underrun (blob)");
+    }
+    out->assign(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+                data_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+    pos_ += n;
+    return Status::Ok();
+  }
+
+  Status get_string(std::string* out) {
+    std::uint64_t n = 0;
+    COREC_RETURN_IF_ERROR(get(&n));
+    if (pos_ + n > data_.size()) {
+      return Status::InvalidArgument("buffer underrun (string)");
+    }
+    out->assign(reinterpret_cast<const char*>(data_.data() + pos_), n);
+    pos_ += n;
+    return Status::Ok();
+  }
+
+  std::size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  ByteSpan data_;
+  std::size_t pos_ = 0;
+};
+
+/// FNV-1a 64-bit content hash; used for integrity checks in tests and for
+/// deterministic payload generation fingerprints.
+inline std::uint64_t fnv1a(ByteSpan data) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (std::uint8_t b : data) {
+    h ^= b;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace corec

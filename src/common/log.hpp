@@ -1,0 +1,46 @@
+// Minimal leveled logger. Defaults to WARN so tests and benches stay quiet;
+// examples raise the level to narrate what the runtime is doing.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace corec {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Process-wide minimum level; messages below it are discarded.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emits one formatted line to stderr (thread-safe).
+void log_line(LogLevel level, const std::string& msg);
+
+namespace detail {
+
+/// RAII stream that emits on destruction; enables `COREC_LOG(kInfo) << ...`.
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  ~LogStream() {
+    if (level_ >= log_level()) log_line(level_, os_.str());
+  }
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
+
+  template <typename T>
+  LogStream& operator<<(const T& v) {
+    if (level_ >= log_level()) os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+
+}  // namespace detail
+}  // namespace corec
+
+#define COREC_LOG(level) \
+  ::corec::detail::LogStream(::corec::LogLevel::level)

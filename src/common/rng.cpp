@@ -1,0 +1,14 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+
+namespace corec {
+
+double Rng::exponential(double mean) {
+  // Inverse-CDF sampling; clamp away from 0 to avoid -log(0).
+  double u = uniform_double();
+  if (u < 1e-12) u = 1e-12;
+  return -mean * std::log(u);
+}
+
+}  // namespace corec

@@ -1,0 +1,85 @@
+// Deterministic, seedable pseudo-random number generation. All stochastic
+// behaviour in the simulator (workload choices, failure times, placement
+// jitter) flows through Rng so experiments are exactly reproducible.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace corec {
+
+/// PCG32 generator (O'Neill, pcg-random.org; PCG-XSH-RR 64/32).
+/// Small state, excellent statistical quality, fully deterministic.
+class Rng {
+ public:
+  /// Seeds the generator; `seq` selects one of 2^63 independent streams.
+  explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bULL,
+               std::uint64_t seq = 0xda3e39cb94b95bdbULL) {
+    state_ = 0U;
+    inc_ = (seq << 1u) | 1u;
+    next_u32();
+    state_ += seed;
+    next_u32();
+  }
+
+  /// Uniform 32-bit value.
+  std::uint32_t next_u32() {
+    std::uint64_t old = state_;
+    state_ = old * 6364136223846793005ULL + inc_;
+    auto xorshifted =
+        static_cast<std::uint32_t>(((old >> 18u) ^ old) >> 27u);
+    auto rot = static_cast<std::uint32_t>(old >> 59u);
+    return (xorshifted >> rot) | (xorshifted << ((-rot) & 31u));
+  }
+
+  /// Uniform 64-bit value.
+  std::uint64_t next_u64() {
+    return (static_cast<std::uint64_t>(next_u32()) << 32) | next_u32();
+  }
+
+  /// Uniform integer in [0, bound). Uses Lemire's unbiased method.
+  std::uint32_t uniform(std::uint32_t bound) {
+    if (bound <= 1) return 0;
+    std::uint64_t m = static_cast<std::uint64_t>(next_u32()) * bound;
+    auto l = static_cast<std::uint32_t>(m);
+    if (l < bound) {
+      std::uint32_t t = -bound % bound;
+      while (l < t) {
+        m = static_cast<std::uint64_t>(next_u32()) * bound;
+        l = static_cast<std::uint32_t>(m);
+      }
+    }
+    return static_cast<std::uint32_t>(m >> 32);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_range(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(
+                    uniform(static_cast<std::uint32_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform_double() {
+    return static_cast<double>(next_u32()) * (1.0 / 4294967296.0);
+  }
+
+  /// Exponentially distributed value with the given mean (for MTBF draws).
+  double exponential(double mean);
+
+  /// Bernoulli draw with success probability p.
+  bool bernoulli(double p) { return uniform_double() < p; }
+
+  /// UniformRandomBitGenerator interface for <algorithm> interop.
+  using result_type = std::uint32_t;
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<std::uint32_t>::max();
+  }
+  result_type operator()() { return next_u32(); }
+
+ private:
+  std::uint64_t state_ = 0;
+  std::uint64_t inc_ = 0;
+};
+
+}  // namespace corec

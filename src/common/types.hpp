@@ -1,0 +1,60 @@
+// Fundamental identifier and time types shared by every CoREC module.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace corec {
+
+/// Identifier of a staging server within a cluster (dense, 0-based).
+using ServerId = std::uint32_t;
+
+/// Identifier of a client (application rank) within a workflow.
+using ClientId = std::uint32_t;
+
+/// Simulation time step / data object version (DataSpaces "version").
+using Version = std::uint32_t;
+
+/// Identifier of a staged variable ("var name" in DataSpaces).
+using VarId = std::uint32_t;
+
+/// Globally unique identifier of a fitted data object shard.
+using ObjectId = std::uint64_t;
+
+/// Identifier of a replication or erasure-coding group.
+using GroupId = std::uint32_t;
+
+/// Virtual (simulated) time in nanoseconds. All latency accounting in the
+/// discrete-event substrate uses this resolution.
+using SimTime = std::int64_t;
+
+/// Sentinel meaning "no server".
+inline constexpr ServerId kInvalidServer =
+    std::numeric_limits<ServerId>::max();
+
+/// Sentinel meaning "no object".
+inline constexpr ObjectId kInvalidObject =
+    std::numeric_limits<ObjectId>::max();
+
+/// Sentinel for an unset simulated time.
+inline constexpr SimTime kNeverTime = std::numeric_limits<SimTime>::max();
+
+/// Convenience converters between SimTime (ns) and floating seconds.
+constexpr double to_seconds(SimTime t) {
+  return static_cast<double>(t) * 1e-9;
+}
+constexpr SimTime from_seconds(double s) {
+  return static_cast<SimTime>(s * 1e9);
+}
+constexpr SimTime from_micros(double us) {
+  return static_cast<SimTime>(us * 1e3);
+}
+constexpr double to_micros(SimTime t) {
+  return static_cast<double>(t) * 1e-3;
+}
+constexpr double to_millis(SimTime t) {
+  return static_cast<double>(t) * 1e-6;
+}
+
+}  // namespace corec

@@ -1,0 +1,222 @@
+#include "core/classifier.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace corec::core {
+
+AccessClassifier::AccessClassifier(const ClassifierOptions& options)
+    : options_(options) {}
+
+bool AccessClassifier::CellKey::operator<(const CellKey& o) const {
+  if (var != o.var) return var < o.var;
+  if (dims != o.dims) return dims < o.dims;
+  return std::memcmp(cell, o.cell, sizeof(cell)) < 0;
+}
+
+AccessClassifier::CellKey AccessClassifier::cell_of(
+    VarId var, const geom::Point& p) const {
+  CellKey key{};
+  key.var = var;
+  key.dims = p.dims;
+  for (std::size_t d = 0; d < p.dims; ++d) {
+    // Floor division so negative coordinates bucket consistently.
+    geom::Coord v = p[d];
+    key.cell[d] = v >= 0 ? v / cell_size_
+                         : (v - cell_size_ + 1) / cell_size_;
+  }
+  return key;
+}
+
+void AccessClassifier::index_insert(VarId var,
+                                    const geom::BoundingBox& box) {
+  if (cell_size_ == 0) {
+    // Derive the cell size from the first entity: one cell ~ one block.
+    cell_size_ = 1;
+    for (std::size_t d = 0; d < box.dims(); ++d) {
+      cell_size_ = std::max(cell_size_, box.extent(d));
+    }
+  }
+  grid_[cell_of(var, box.lo())].push_back(key_of(var, box));
+}
+
+std::vector<const AccessRecord*> AccessClassifier::neighbours(
+    VarId var, const geom::BoundingBox& box) const {
+  std::vector<const AccessRecord*> out;
+  if (cell_size_ == 0) return out;
+  // Visit the cells covering box expanded by the spatial radius; an
+  // entity's index cell is the cell of its lo() corner, so expand the
+  // query by one extra cell to catch large neighbours.
+  geom::Point lo = box.lo(), hi = box.hi();
+  std::size_t dims = box.dims();
+  std::int64_t clo[geom::kMaxDims], chi[geom::kMaxDims];
+  for (std::size_t d = 0; d < dims; ++d) {
+    geom::Coord l = lo[d] - options_.spatial_radius - cell_size_;
+    geom::Coord h = hi[d] + options_.spatial_radius;
+    clo[d] = l >= 0 ? l / cell_size_ : (l - cell_size_ + 1) / cell_size_;
+    chi[d] = h >= 0 ? h / cell_size_ : (h - cell_size_ + 1) / cell_size_;
+  }
+  // Odometer over the cell range.
+  std::int64_t idx[geom::kMaxDims];
+  for (std::size_t d = 0; d < dims; ++d) idx[d] = clo[d];
+  for (;;) {
+    CellKey key{};
+    key.var = var;
+    key.dims = dims;
+    for (std::size_t d = 0; d < dims; ++d) key.cell[d] = idx[d];
+    auto it = grid_.find(key);
+    if (it != grid_.end()) {
+      for (const Key& k : it->second) {
+        auto rit = records_.find(k);
+        if (rit == records_.end()) continue;
+        const AccessRecord& r = rit->second;
+        if (!(r.box == box) &&
+            r.box.chebyshev_gap(box) <= options_.spatial_radius) {
+          out.push_back(&r);
+        }
+      }
+    }
+    std::size_t d = dims;
+    bool done = true;
+    while (d-- > 0) {
+      if (++idx[d] <= chi[d]) {
+        done = false;
+        break;
+      }
+      idx[d] = clo[d];
+    }
+    if (done) break;
+  }
+  return out;
+}
+
+std::size_t AccessClassifier::record_write(VarId var,
+                                           const geom::BoundingBox& box,
+                                           Version step) {
+  Key key = key_of(var, box);
+  auto it = records_.find(key);
+  std::size_t work = 1;
+  ++decisions_;
+  if (it == records_.end()) {
+    AccessRecord r;
+    r.var = var;
+    r.box = box;
+    r.last_write = step;
+    r.frequency = 1.0;
+    r.writes = 1;
+    records_.emplace(key, r);
+    index_insert(var, box);
+  } else {
+    AccessRecord& r = it->second;
+    if (r.last_write != step) {
+      // Period detection: two consecutive equal gaps lock a period.
+      std::uint32_t gap = step - r.last_write;
+      if (r.has_prev) {
+        std::uint32_t prev_gap = r.last_write - r.prev_write;
+        r.period = (gap == prev_gap && gap > 0) ? gap : 0;
+      }
+      r.prev_write = r.last_write;
+      r.has_prev = true;
+      r.last_write = step;
+    }
+    r.frequency += 1.0;
+    ++r.writes;
+  }
+
+  // Spatial locality: mark neighbours predicted-hot.
+  if (options_.enable_spatial) {
+    for (const AccessRecord* n : neighbours(var, box)) {
+      auto* mut = const_cast<AccessRecord*>(n);
+      mut->predicted_hot_until =
+          std::max(mut->predicted_hot_until,
+                   step + options_.prediction_ttl);
+      ++work;
+      ++decisions_;
+    }
+  }
+  return work;
+}
+
+void AccessClassifier::record_read(VarId var, const geom::BoundingBox& box,
+                                   Version step) {
+  if (!options_.count_reads) return;
+  auto it = records_.find(key_of(var, box));
+  if (it == records_.end()) return;
+  it->second.last_read = step;
+  it->second.ever_read = true;
+  it->second.frequency += 1.0;
+  ++decisions_;
+}
+
+bool AccessClassifier::is_hot_record(const AccessRecord& r,
+                                     Version step) const {
+  ++decisions_;
+  // Temporal: written recently.
+  if (step >= r.last_write && step - r.last_write < options_.cold_after) {
+    return true;
+  }
+  // Extension: read recently (only when read counting is enabled).
+  if (options_.count_reads && r.ever_read && step >= r.last_read &&
+      step - r.last_read < options_.cold_after) {
+    return true;
+  }
+  // Spatial / explicit prediction marking.
+  if (r.predicted_hot_until >= step) return true;
+  // Periodic lookahead: next expected write within the ttl window.
+  if (options_.enable_periodic && r.period != 0) {
+    Version next = r.last_write + r.period;
+    if (next >= step && next <= step + options_.prediction_ttl) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool AccessClassifier::is_hot(VarId var, const geom::BoundingBox& box,
+                              Version step) const {
+  auto it = records_.find(key_of(var, box));
+  if (it == records_.end()) return true;  // new data is hot by definition
+  return is_hot_record(it->second, step);
+}
+
+Version AccessClassifier::predicted_next(const AccessRecord& r,
+                                         Version step) const {
+  if (options_.enable_periodic && r.period != 0) {
+    // Project the periodic pattern forward.
+    Version next = r.last_write;
+    while (next < step) next += r.period;
+    return next;
+  }
+  if (step >= r.last_write && step - r.last_write < options_.cold_after) {
+    // Recently written: expect another write shortly.
+    return step;
+  }
+  if (options_.count_reads && r.ever_read && step >= r.last_read &&
+      step - r.last_read < options_.cold_after) {
+    return step;  // read-hot: keep in the pool (extension)
+  }
+  if (r.predicted_hot_until >= step) return step + 1;
+  return kNeverVersion;
+}
+
+Version AccessClassifier::predicted_next_write(
+    VarId var, const geom::BoundingBox& box, Version step) const {
+  auto it = records_.find(key_of(var, box));
+  if (it == records_.end()) return kNeverVersion;
+  return predicted_next(it->second, step);
+}
+
+void AccessClassifier::end_of_step(Version step) {
+  (void)step;
+  for (auto& [key, r] : records_) {
+    r.frequency *= options_.frequency_decay;
+  }
+}
+
+const AccessRecord* AccessClassifier::find(
+    VarId var, const geom::BoundingBox& box) const {
+  auto it = records_.find(key_of(var, box));
+  return it == records_.end() ? nullptr : &it->second;
+}
+
+}  // namespace corec::core

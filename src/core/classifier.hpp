@@ -1,0 +1,125 @@
+// Online hot/cold data-access classification (Section II-C). Tracks
+// per-region-entity write history and predicts near-future writes from
+// three signals:
+//   * temporal locality  — written within the last `cold_after` steps;
+//   * periodicity        — multi-time-step lookahead: a region written
+//                          with a stable period is predicted hot just
+//                          before its next expected write;
+//   * spatial locality   — regions adjacent (Chebyshev gap <= radius)
+//                          to freshly written regions are marked
+//                          predicted-hot for a few steps.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+#include "geom/bbox.hpp"
+#include "staging/object.hpp"
+
+namespace corec::core {
+
+/// Classifier tuning knobs.
+struct ClassifierOptions {
+  /// A region is temporally hot for this many steps after a write.
+  Version cold_after = 3;
+  /// Chebyshev neighbourhood (grid points) for spatial prediction.
+  geom::Coord spatial_radius = 1;
+  /// How long a spatial/periodic prediction keeps a region hot.
+  Version prediction_ttl = 2;
+  /// Enable the periodicity (multi-time-step lookahead) signal.
+  bool enable_periodic = true;
+  /// Enable the spatial-neighbour signal.
+  bool enable_spatial = true;
+  /// Exponential decay factor applied to frequency counters per step.
+  double frequency_decay = 0.5;
+  /// Extension (off per the paper, which classifies on writes only):
+  /// treat reads as accesses too, keeping read-hot data replicated so
+  /// failures degrade fewer reads.
+  bool count_reads = false;
+};
+
+/// Per-entity access record.
+struct AccessRecord {
+  VarId var = 0;
+  geom::BoundingBox box;
+  Version last_write = 0;
+  Version prev_write = 0;
+  Version last_read = 0;
+  bool ever_read = false;
+  bool has_prev = false;
+  std::uint32_t period = 0;          // 0 = no stable period detected
+  double frequency = 0.0;            // decayed write-frequency counter
+  Version predicted_hot_until = 0;   // spatial/periodic marking
+  std::uint64_t writes = 0;          // lifetime write count
+};
+
+/// The classifier. Entities are (var, box) regions — exactly the
+/// update granularity of the staging service.
+class AccessClassifier {
+ public:
+  explicit AccessClassifier(const ClassifierOptions& options);
+
+  /// Registers a write of entity (var, box) at time step `step` and
+  /// propagates spatial predictions to neighbours. Returns the number
+  /// of classification decisions taken (for cost accounting).
+  std::size_t record_write(VarId var, const geom::BoundingBox& box,
+                           Version step);
+
+  /// Registers a read access (no-op unless `count_reads` is enabled).
+  void record_read(VarId var, const geom::BoundingBox& box, Version step);
+
+  /// Classification decision: is the entity hot at `step`?
+  bool is_hot(VarId var, const geom::BoundingBox& box, Version step) const;
+
+  /// The step at which this entity is next expected to be written
+  /// (from temporal + periodic signals); kNeverVersion when unknown.
+  /// Pool eviction prefers victims with the farthest predicted write.
+  Version predicted_next_write(VarId var, const geom::BoundingBox& box,
+                               Version step) const;
+  static constexpr Version kNeverVersion = 0xffffffffu;
+
+  /// Per-step bookkeeping (frequency decay).
+  void end_of_step(Version step);
+
+  /// Entity record lookup (nullptr if never written).
+  const AccessRecord* find(VarId var, const geom::BoundingBox& box) const;
+
+  std::size_t num_entities() const { return records_.size(); }
+
+  /// Total classification decisions taken so far (Fig. 9's "classify"
+  /// accounting).
+  std::uint64_t decisions() const { return decisions_; }
+
+ private:
+  using Key = staging::ObjectDescriptor;  // normalized: version=shard=0
+
+  static Key key_of(VarId var, const geom::BoundingBox& box) {
+    return Key{var, 0, box, staging::kWholeObject};
+  }
+
+  bool is_hot_record(const AccessRecord& r, Version step) const;
+  Version predicted_next(const AccessRecord& r, Version step) const;
+
+  // Coarse spatial hash for neighbour queries.
+  struct CellKey {
+    VarId var;
+    std::int64_t cell[geom::kMaxDims];
+    std::size_t dims;
+    bool operator<(const CellKey& o) const;
+  };
+  CellKey cell_of(VarId var, const geom::Point& p) const;
+  void index_insert(VarId var, const geom::BoundingBox& box);
+  std::vector<const AccessRecord*> neighbours(
+      VarId var, const geom::BoundingBox& box) const;
+
+  ClassifierOptions options_;
+  std::unordered_map<Key, AccessRecord, staging::DescriptorHash> records_;
+  std::map<CellKey, std::vector<Key>> grid_;
+  geom::Coord cell_size_ = 0;  // derived from the first entity's box
+  mutable std::uint64_t decisions_ = 0;
+};
+
+}  // namespace corec::core

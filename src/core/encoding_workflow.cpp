@@ -1,0 +1,66 @@
+#include "core/encoding_workflow.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace corec::core {
+
+EncodingWorkflow::EncodingWorkflow(staging::StagingService* service,
+                                   std::size_t replication_group_size,
+                                   const WorkflowOptions& options)
+    : service_(service),
+      group_size_(std::max<std::size_t>(1, replication_group_size)),
+      options_(options) {
+  std::size_t groups =
+      std::max<std::size_t>(1, service->num_servers() / group_size_);
+  token_free_.assign(groups, 0);
+}
+
+std::size_t EncodingWorkflow::group_of(ServerId s) const {
+  std::size_t pos = service_->ring_position(s);
+  return std::min(pos / group_size_, token_free_.size() - 1);
+}
+
+ServerId EncodingWorkflow::pick_encoder(
+    const std::vector<ServerId>& holders, SimTime now) const {
+  assert(!holders.empty());
+  if (!options_.load_balance) return holders.front();
+  ServerId best = kInvalidServer;
+  SimTime best_backlog = 0;
+  for (ServerId h : holders) {
+    if (!service_->alive(h)) continue;
+    SimTime backlog = service_->server(h).queue.backlog(now);
+    if (best == kInvalidServer || backlog < best_backlog) {
+      best = h;
+      best_backlog = backlog;
+    }
+  }
+  if (best == kInvalidServer) return holders.front();
+  // Hysteresis: stay on the primary unless the helper is clearly less
+  // loaded.
+  ServerId primary = holders.front();
+  if (best != primary && service_->alive(primary)) {
+    SimTime primary_backlog = service_->server(primary).queue.backlog(now);
+    if (primary_backlog - best_backlog <= options_.offload_threshold) {
+      return primary;
+    }
+    ++offloads_;
+  }
+  return best;
+}
+
+SimTime EncodingWorkflow::acquire(ServerId encoder, SimTime ready) {
+  if (!options_.conflict_avoid) return ready;
+  std::size_t g = group_of(encoder);
+  SimTime start = std::max(ready, token_free_[g]);
+  token_wait_ += start - ready;
+  return start;
+}
+
+void EncodingWorkflow::release(ServerId encoder, SimTime until) {
+  if (!options_.conflict_avoid) return;
+  std::size_t g = group_of(encoder);
+  token_free_[g] = std::max(token_free_[g], until);
+}
+
+}  // namespace corec::core

@@ -1,0 +1,89 @@
+#include "core/model.hpp"
+
+#include <algorithm>
+
+namespace corec::core {
+
+double AnalyticModel::cost_replica_unit() const {
+  return p_.l * static_cast<double>(p_.n_level) + p_.c;
+}
+
+double AnalyticModel::cost_erasure_unit() const {
+  double compute = p_.encode_unit * static_cast<double>(p_.n_level) *
+                   static_cast<double>(p_.n_node);
+  double transfer = p_.l *
+                    static_cast<double>(p_.n_level + p_.n_node) /
+                    static_cast<double>(p_.n_node);
+  return compute + transfer + p_.c;
+}
+
+double AnalyticModel::efficiency_replication() const {
+  return 1.0 / (static_cast<double>(p_.n_level) + 1.0);
+}
+
+double AnalyticModel::efficiency_erasure() const {
+  return static_cast<double>(p_.n_node) /
+         static_cast<double>(p_.n_level + p_.n_node);
+}
+
+double AnalyticModel::efficiency_mixed(double p_r) const {
+  double nn = static_cast<double>(p_.n_node);
+  double nl = static_cast<double>(p_.n_level);
+  double p_e = 1.0 - p_r;
+  return nn / (nn * (nl + 1.0) * p_r + (nl + nn) * p_e);
+}
+
+double AnalyticModel::p_r_at_constraint() const {
+  double er = efficiency_replication();
+  double ee = efficiency_erasure();
+  double pr = er * (p_.S - ee) / (p_.S * (er - ee));
+  return std::clamp(pr, 0.0, 1.0);
+}
+
+double AnalyticModel::cost_replication(double p_h) const {
+  double cr = cost_replica_unit();
+  return (p_.f_h - p_.f_c) * cr * p_.n_objects * p_h +
+         cr * p_.f_c * p_.n_objects;
+}
+
+double AnalyticModel::cost_erasure(double p_h) const {
+  double ce = cost_erasure_unit();
+  return (p_.f_h - p_.f_c) * ce * p_.n_objects * p_h +
+         ce * p_.f_c * p_.n_objects;
+}
+
+double AnalyticModel::cost_hybrid(double p_h) const {
+  double cr = cost_replica_unit();
+  double ce = cost_erasure_unit();
+  double p_r = p_r_at_constraint();
+  double f = p_h * p_.f_h + (1.0 - p_h) * p_.f_c;
+  return (p_r * cr + (1.0 - p_r) * ce) * f * p_.n_objects;
+}
+
+double AnalyticModel::cost_corec(double p_h) const {
+  double cr = cost_replica_unit();
+  double ce = cost_erasure_unit();
+  double p_r = p_r_at_constraint();
+  double n = p_.n_objects;
+  if (p_h <= p_r) {
+    // Eq. (8): all real hot data fits under the constraint; only the
+    // miss ratio diverts hot objects to the encode path.
+    return (cr * p_.f_h - ce * p_.f_c +
+            (ce - cr) * p_.f_h * p_.r_m) *
+               n * p_h +
+           ce * p_.f_c * n;
+  }
+  // Eq. (9): the constraint is binding; only (1 - r_m) * P_r of the hot
+  // data enjoys replication, the rest is encoded.
+  return (p_.f_h - p_.f_c) * ce * n * p_h + ce * p_.f_c * n -
+         (ce - cr) * (1.0 - p_.r_m) * p_r * p_.f_h * n;
+}
+
+double AnalyticModel::gain(double p_h) const {
+  double cr = cost_replica_unit();
+  double ce = cost_erasure_unit();
+  double p_c = 1.0 - p_h;
+  return (ce - cr) * p_h * p_c * (p_.f_h - p_.f_c) * p_.n_objects;
+}
+
+}  // namespace corec::core

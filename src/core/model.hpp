@@ -1,0 +1,68 @@
+// Closed-form cost/efficiency model of Section II-D. Reproduces the
+// analytic study of Figure 4: relative write/update cost of replication,
+// erasure coding, simple hybrid coding and CoREC as functions of the hot
+// data percentage P_h, the classifier miss ratio r_m, and the storage
+// efficiency constraint S.
+#pragma once
+
+#include <cstddef>
+
+namespace corec::core {
+
+/// Parameters of the analytic model (paper notation).
+struct ModelParams {
+  double l = 1.0;            ///< per-hop object send latency
+  double c = 4.0;            ///< streaming transfer time of one object
+  std::size_t n_level = 1;   ///< fault-tolerance level (replica count / m)
+  std::size_t n_node = 3;    ///< stripe data width (k, "N_node")
+  double encode_unit = 1.0;  ///< scale of the O(N_level*N_node) encode
+  double f_h = 10.0;         ///< update frequency of hot objects
+  double f_c = 1.0;          ///< update frequency of cold objects
+  double n_objects = 1.0;    ///< workload scale n (1 = per-object cost)
+  double S = 0.67;           ///< storage efficiency constraint
+  double r_m = 0.0;          ///< classifier miss ratio
+};
+
+/// Analytic model with the paper's equations (1), (3)-(9).
+class AnalyticModel {
+ public:
+  explicit AnalyticModel(const ModelParams& p) : p_(p) {}
+
+  /// Per-object replication cost C_r = l * N_level + c.
+  double cost_replica_unit() const;
+  /// Per-object erasure cost
+  /// C_e = O(N_level*N_node) + l*(N_level+N_node)/N_node + c.
+  double cost_erasure_unit() const;
+
+  /// Storage efficiency of pure replication E_r = 1 / (N_level + 1).
+  double efficiency_replication() const;
+  /// Storage efficiency of pure erasure E_e = N_node/(N_level+N_node).
+  double efficiency_erasure() const;
+  /// Mixed efficiency for replicated fraction p_r (eq. 7 denominator).
+  double efficiency_mixed(double p_r) const;
+
+  /// Replicated fraction P_r at which the mixed efficiency equals the
+  /// constraint S: P_r = E_r (S - E_e) / (S (E_r - E_e)).
+  double p_r_at_constraint() const;
+
+  /// Eq. (4): total cost of pure replication at hot fraction p_h.
+  double cost_replication(double p_h) const;
+  /// Eq. (5): total cost of pure erasure coding at hot fraction p_h.
+  double cost_erasure(double p_h) const;
+  /// Eq. (1): simple hybrid (random selection under constraint S) at
+  /// hot fraction p_h, with the mean update frequency f(p_h).
+  double cost_hybrid(double p_h) const;
+  /// Eqs. (8)/(9): CoREC with miss ratio r_m; switches to the
+  /// constrained branch once p_h exceeds the P_r the constraint allows.
+  double cost_corec(double p_h) const;
+
+  /// Eq. (6): Gain = C_hybrid - C_CoREC (ideal classifier, no knee).
+  double gain(double p_h) const;
+
+  const ModelParams& params() const { return p_; }
+
+ private:
+  ModelParams p_;
+};
+
+}  // namespace corec::core

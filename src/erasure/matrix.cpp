@@ -1,0 +1,166 @@
+#include "erasure/matrix.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+#include "gf/gf256.hpp"
+
+namespace corec::erasure {
+
+GfMatrix GfMatrix::identity(std::size_t n) {
+  GfMatrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m.at(i, i) = 1;
+  return m;
+}
+
+GfMatrix GfMatrix::vandermonde(std::size_t rows, std::size_t cols) {
+  GfMatrix m(rows, cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      // alpha^(r*c) with alpha = 2 (field generator).
+      m.at(r, c) = gf::pow(2, static_cast<unsigned>(r * c) %
+                                  gf::kGroupOrder);
+    }
+  }
+  return m;
+}
+
+GfMatrix GfMatrix::cauchy(std::size_t rows, std::size_t cols) {
+  assert(rows + cols <= gf::kFieldSize && "Cauchy points must be distinct");
+  GfMatrix m(rows, cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      auto x = static_cast<std::uint8_t>(r + cols);
+      auto y = static_cast<std::uint8_t>(c);
+      m.at(r, c) = gf::inv(gf::add(x, y));
+    }
+  }
+  return m;
+}
+
+GfMatrix GfMatrix::multiply(const GfMatrix& other) const {
+  assert(cols_ == other.rows_);
+  GfMatrix out(rows_, other.cols_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      std::uint8_t a = at(i, k);
+      if (a == 0) continue;
+      for (std::size_t j = 0; j < other.cols_; ++j) {
+        out.at(i, j) =
+            gf::add(out.at(i, j), gf::mul(a, other.at(k, j)));
+      }
+    }
+  }
+  return out;
+}
+
+void GfMatrix::scale_row(std::size_t r, std::uint8_t c) {
+  for (std::size_t j = 0; j < cols_; ++j) at(r, j) = gf::mul(at(r, j), c);
+}
+
+void GfMatrix::add_scaled_row(std::size_t dst, std::size_t src,
+                              std::uint8_t c) {
+  for (std::size_t j = 0; j < cols_; ++j) {
+    at(dst, j) = gf::add(at(dst, j), gf::mul(at(src, j), c));
+  }
+}
+
+void GfMatrix::swap_rows(std::size_t a, std::size_t b) {
+  if (a == b) return;
+  for (std::size_t j = 0; j < cols_; ++j) std::swap(at(a, j), at(b, j));
+}
+
+StatusOr<GfMatrix> GfMatrix::inverted() const {
+  assert(rows_ == cols_);
+  GfMatrix work = *this;
+  GfMatrix inv = identity(rows_);
+  for (std::size_t col = 0; col < cols_; ++col) {
+    // Find pivot.
+    std::size_t pivot = col;
+    while (pivot < rows_ && work.at(pivot, col) == 0) ++pivot;
+    if (pivot == rows_) {
+      return Status::FailedPrecondition("matrix is singular");
+    }
+    work.swap_rows(col, pivot);
+    inv.swap_rows(col, pivot);
+    std::uint8_t scale = gf::inv(work.at(col, col));
+    work.scale_row(col, scale);
+    inv.scale_row(col, scale);
+    for (std::size_t r = 0; r < rows_; ++r) {
+      if (r == col) continue;
+      std::uint8_t factor = work.at(r, col);
+      if (factor == 0) continue;
+      work.add_scaled_row(r, col, factor);
+      inv.add_scaled_row(r, col, factor);
+    }
+  }
+  return inv;
+}
+
+GfMatrix GfMatrix::select_rows(
+    const std::vector<std::size_t>& row_idx) const {
+  GfMatrix out(row_idx.size(), cols_);
+  for (std::size_t i = 0; i < row_idx.size(); ++i) {
+    assert(row_idx[i] < rows_);
+    for (std::size_t j = 0; j < cols_; ++j) {
+      out.at(i, j) = at(row_idx[i], j);
+    }
+  }
+  return out;
+}
+
+std::size_t GfMatrix::rank() const {
+  GfMatrix work = *this;
+  std::size_t rank = 0;
+  for (std::size_t col = 0; col < cols_ && rank < rows_; ++col) {
+    std::size_t pivot = rank;
+    while (pivot < rows_ && work.at(pivot, col) == 0) ++pivot;
+    if (pivot == rows_) continue;
+    work.swap_rows(rank, pivot);
+    std::uint8_t scale = gf::inv(work.at(rank, col));
+    work.scale_row(rank, scale);
+    for (std::size_t r = 0; r < rows_; ++r) {
+      if (r == rank) continue;
+      std::uint8_t f = work.at(r, col);
+      if (f) work.add_scaled_row(r, rank, f);
+    }
+    ++rank;
+  }
+  return rank;
+}
+
+Status GfMatrix::make_systematic() {
+  assert(rows_ >= cols_);
+  // Column-reduce so the top square block becomes the identity; the
+  // transformation is applied to entire columns, preserving the code's
+  // span (standard Vandermonde->systematic construction).
+  for (std::size_t col = 0; col < cols_; ++col) {
+    // Pivot search within the top block columns.
+    std::size_t pivot_col = col;
+    while (pivot_col < cols_ && at(col, pivot_col) == 0) ++pivot_col;
+    if (pivot_col == cols_) {
+      return Status::FailedPrecondition("top block singular");
+    }
+    if (pivot_col != col) {
+      for (std::size_t r = 0; r < rows_; ++r) {
+        std::swap(at(r, col), at(r, pivot_col));
+      }
+    }
+    std::uint8_t scale = gf::inv(at(col, col));
+    for (std::size_t r = 0; r < rows_; ++r) {
+      at(r, col) = gf::mul(at(r, col), scale);
+    }
+    for (std::size_t c2 = 0; c2 < cols_; ++c2) {
+      if (c2 == col) continue;
+      std::uint8_t f = at(col, c2);
+      if (f == 0) continue;
+      for (std::size_t r = 0; r < rows_; ++r) {
+        at(r, c2) = gf::add(at(r, c2), gf::mul(at(r, col), f));
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace corec::erasure

@@ -1,0 +1,82 @@
+// Dense matrices over GF(2^8) and the linear algebra needed by
+// Reed-Solomon erasure decoding (inversion via Gauss-Jordan).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace corec::erasure {
+
+/// Row-major dense matrix over GF(2^8).
+class GfMatrix {
+ public:
+  GfMatrix() = default;
+  /// Zero-initialized rows x cols matrix.
+  GfMatrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0) {}
+
+  /// Identity matrix of order n.
+  static GfMatrix identity(std::size_t n);
+
+  /// Vandermonde matrix V[i][j] = alpha^(i*j) with rows x cols entries.
+  /// Rows beyond the first `cols` give independent parity equations.
+  static GfMatrix vandermonde(std::size_t rows, std::size_t cols);
+
+  /// Cauchy matrix C[i][j] = 1 / (x_i + y_j) with x_i = i + cols,
+  /// y_j = j; any square submatrix is invertible, which makes it a
+  /// correct RS generator without the Vandermonde row-reduction step.
+  static GfMatrix cauchy(std::size_t rows, std::size_t cols);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  std::uint8_t& at(std::size_t r, std::size_t c) {
+    return data_[r * cols_ + c];
+  }
+  std::uint8_t at(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  /// Pointer to the start of row r (contiguous `cols()` bytes).
+  const std::uint8_t* row(std::size_t r) const {
+    return data_.data() + r * cols_;
+  }
+
+  /// Matrix product this * other. Precondition: cols() == other.rows().
+  GfMatrix multiply(const GfMatrix& other) const;
+
+  /// Returns the inverse, or FailedPrecondition if singular.
+  /// Precondition: square.
+  StatusOr<GfMatrix> inverted() const;
+
+  /// Extracts the sub-matrix made of the given rows (all columns).
+  GfMatrix select_rows(const std::vector<std::size_t>& row_idx) const;
+
+  /// Rank via Gaussian elimination (destructive on a copy).
+  std::size_t rank() const;
+
+  /// In-place elementary row ops used by systematic-form reduction.
+  void scale_row(std::size_t r, std::uint8_t c);
+  void add_scaled_row(std::size_t dst, std::size_t src, std::uint8_t c);
+  void swap_rows(std::size_t a, std::size_t b);
+
+  /// Reduces the top cols() x cols() block to identity via column
+  /// operations mirrored across all rows, producing a systematic
+  /// generator (top = I, bottom = parity coefficients). Returns
+  /// FailedPrecondition if the top block is singular.
+  Status make_systematic();
+
+  friend bool operator==(const GfMatrix& a, const GfMatrix& b) {
+    return a.rows_ == b.rows_ && a.cols_ == b.cols_ && a.data_ == b.data_;
+  }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<std::uint8_t> data_;
+};
+
+}  // namespace corec::erasure

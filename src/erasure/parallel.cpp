@@ -1,0 +1,79 @@
+#include "erasure/parallel.hpp"
+
+#include <atomic>
+#include <algorithm>
+
+namespace corec::erasure {
+namespace {
+
+/// Collects per-task statuses; keeps the first failure.
+class StatusCollector {
+ public:
+  void record(const Status& st) {
+    if (st.ok()) return;
+    bool expected = false;
+    if (failed_.compare_exchange_strong(expected, true)) {
+      first_ = st;
+    }
+  }
+  Status take() const { return failed_.load() ? first_ : Status::Ok(); }
+
+ private:
+  std::atomic<bool> failed_{false};
+  Status first_;
+};
+
+}  // namespace
+
+Status ParallelCoder::encode(
+    const std::vector<ByteSpan>& data,
+    const std::vector<MutableByteSpan>& parity) const {
+  if (data.empty()) {
+    return Status::InvalidArgument("parallel encode: no data blocks");
+  }
+  const std::size_t size = data[0].size();
+  if (pool_ == nullptr || size <= slice_bytes_) {
+    return codec_.encode(data, parity);
+  }
+  StatusCollector collector;
+  for (std::size_t off = 0; off < size; off += slice_bytes_) {
+    std::size_t len = std::min(slice_bytes_, size - off);
+    // Sliced views: the i-th sub-stripe across every block.
+    std::vector<ByteSpan> d;
+    std::vector<MutableByteSpan> p;
+    d.reserve(data.size());
+    p.reserve(parity.size());
+    for (const auto& b : data) d.push_back(b.subspan(off, len));
+    for (const auto& b : parity) p.push_back(b.subspan(off, len));
+    pool_->submit([this, d = std::move(d), p = std::move(p),
+                   &collector] { collector.record(codec_.encode(d, p)); });
+  }
+  pool_->wait_idle();
+  return collector.take();
+}
+
+Status ParallelCoder::decode(
+    const std::vector<MutableByteSpan>& blocks,
+    const std::vector<std::size_t>& erased) const {
+  if (blocks.empty()) {
+    return Status::InvalidArgument("parallel decode: no blocks");
+  }
+  const std::size_t size = blocks[0].size();
+  if (pool_ == nullptr || size <= slice_bytes_) {
+    return codec_.decode(blocks, erased);
+  }
+  StatusCollector collector;
+  for (std::size_t off = 0; off < size; off += slice_bytes_) {
+    std::size_t len = std::min(slice_bytes_, size - off);
+    std::vector<MutableByteSpan> b;
+    b.reserve(blocks.size());
+    for (const auto& blk : blocks) b.push_back(blk.subspan(off, len));
+    pool_->submit([this, b = std::move(b), erased, &collector] {
+      collector.record(codec_.decode(b, erased));
+    });
+  }
+  pool_->wait_idle();
+  return collector.take();
+}
+
+}  // namespace corec::erasure

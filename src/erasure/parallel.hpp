@@ -1,0 +1,43 @@
+// Thread-parallel erasure coding. Large payloads are cut into
+// independent sub-stripes along the block length and encoded/decoded on
+// a worker pool — the same decomposition a multi-core staging server
+// uses to hide encode latency. Results are bit-identical to the
+// single-threaded codec (tests verify).
+#pragma once
+
+#include <cstddef>
+
+#include "common/buffer.hpp"
+#include "common/status.hpp"
+#include "common/thread_pool.hpp"
+#include "erasure/codec.hpp"
+
+namespace corec::erasure {
+
+/// Parallel wrapper around any Codec. The wrapped codec must be
+/// thread-safe for concurrent const calls (both RS implementations
+/// are: their tables are immutable after construction).
+class ParallelCoder {
+ public:
+  /// `slice_bytes` is the per-task block slice (granularity of the
+  /// fan-out); small slices parallelize small payloads but add
+  /// scheduling overhead.
+  ParallelCoder(const Codec& codec, ThreadPool* pool,
+                std::size_t slice_bytes = 256u << 10)
+      : codec_(codec), pool_(pool), slice_bytes_(slice_bytes) {}
+
+  /// Parallel encode: same contract as Codec::encode.
+  Status encode(const std::vector<ByteSpan>& data,
+                const std::vector<MutableByteSpan>& parity) const;
+
+  /// Parallel decode: same contract as Codec::decode.
+  Status decode(const std::vector<MutableByteSpan>& blocks,
+                const std::vector<std::size_t>& erased) const;
+
+ private:
+  const Codec& codec_;
+  ThreadPool* pool_;
+  std::size_t slice_bytes_;
+};
+
+}  // namespace corec::erasure

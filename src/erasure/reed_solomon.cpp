@@ -1,0 +1,242 @@
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+
+#include "erasure/codec.hpp"
+#include "erasure/matrix.hpp"
+#include "gf/gf256.hpp"
+
+namespace corec::erasure {
+namespace {
+
+/// Systematic Reed-Solomon codec: generator = [I; P] where P is the
+/// m x k parity-coefficient block derived from a Vandermonde or Cauchy
+/// matrix. MDS: any k of the n = k + m blocks reconstruct the stripe.
+class ReedSolomonCodec final : public Codec {
+ public:
+  ReedSolomonCodec(std::size_t k, std::size_t m, GfMatrix generator,
+                   RsConstruction construction)
+      : k_(k), m_(m), generator_(std::move(generator)),
+        construction_(construction) {}
+
+  std::size_t k() const override { return k_; }
+  std::size_t m() const override { return m_; }
+
+  std::string name() const override {
+    std::ostringstream os;
+    os << (construction_ == RsConstruction::kVandermonde
+               ? "rs-vandermonde"
+               : "rs-cauchy")
+       << "(" << k_ << "," << m_ << ")";
+    return os.str();
+  }
+
+  Status encode(const std::vector<ByteSpan>& data,
+                const std::vector<MutableByteSpan>& parity) const override {
+    COREC_RETURN_IF_ERROR(check_blocks(data, parity));
+    for (std::size_t p = 0; p < m_; ++p) {
+      std::fill(parity[p].begin(), parity[p].end(), 0);
+      const std::uint8_t* coeff = generator_.row(k_ + p);
+      for (std::size_t d = 0; d < k_; ++d) {
+        gf::region_mul_add(coeff[d], data[d], parity[p]);
+      }
+    }
+    return Status::Ok();
+  }
+
+  Status decode(const std::vector<MutableByteSpan>& blocks,
+                const std::vector<std::size_t>& erased) const override {
+    if (blocks.size() != n()) {
+      return Status::InvalidArgument("decode: expected n blocks");
+    }
+    if (erased.size() > m_) {
+      return Status::DataLoss("more erasures than parity blocks");
+    }
+    if (erased.empty()) return Status::Ok();
+    for (std::size_t e : erased) {
+      if (e >= n()) return Status::InvalidArgument("erased index range");
+    }
+    const std::size_t block_size = blocks[0].size();
+    for (const auto& b : blocks) {
+      if (b.size() != block_size) {
+        return Status::InvalidArgument("decode: block size mismatch");
+      }
+    }
+
+    std::vector<bool> is_erased(n(), false);
+    for (std::size_t e : erased) is_erased[e] = true;
+
+    // Pick k surviving blocks; rows of the generator matrix restricted
+    // to them form the decode system D = A * original.
+    std::vector<std::size_t> survivors;
+    for (std::size_t i = 0; i < n() && survivors.size() < k_; ++i) {
+      if (!is_erased[i]) survivors.push_back(i);
+    }
+    if (survivors.size() < k_) {
+      return Status::DataLoss("fewer than k surviving blocks");
+    }
+    GfMatrix a = generator_.select_rows(survivors);
+    COREC_ASSIGN_OR_RETURN(GfMatrix a_inv, a.inverted());
+
+    // Reconstruct every erased *data* block: data[d] = sum_j
+    // a_inv[d][j] * survivor[j].
+    std::vector<std::size_t> erased_data, erased_parity;
+    for (std::size_t e : erased) {
+      (e < k_ ? erased_data : erased_parity).push_back(e);
+    }
+    for (std::size_t d : erased_data) {
+      std::fill(blocks[d].begin(), blocks[d].end(), 0);
+      for (std::size_t j = 0; j < k_; ++j) {
+        gf::region_mul_add(a_inv.at(d, j), blocks[survivors[j]],
+                           blocks[d]);
+      }
+    }
+    // Re-derive erased parity blocks from the (now complete) data.
+    for (std::size_t p : erased_parity) {
+      std::fill(blocks[p].begin(), blocks[p].end(), 0);
+      const std::uint8_t* coeff = generator_.row(p);
+      for (std::size_t d = 0; d < k_; ++d) {
+        gf::region_mul_add(coeff[d], blocks[d], blocks[p]);
+      }
+    }
+    return Status::Ok();
+  }
+
+  Status update_parity(std::size_t index, ByteSpan delta,
+                       const std::vector<MutableByteSpan>& parity)
+      const override {
+    if (index >= k_) {
+      return Status::InvalidArgument("update_parity: data index range");
+    }
+    if (parity.size() != m_) {
+      return Status::InvalidArgument("update_parity: expected m parities");
+    }
+    for (std::size_t p = 0; p < m_; ++p) {
+      if (parity[p].size() != delta.size()) {
+        return Status::InvalidArgument("update_parity: size mismatch");
+      }
+      gf::region_mul_add(generator_.at(k_ + p, index), delta, parity[p]);
+    }
+    return Status::Ok();
+  }
+
+ private:
+  Status check_blocks(const std::vector<ByteSpan>& data,
+                      const std::vector<MutableByteSpan>& parity) const {
+    if (data.size() != k_ || parity.size() != m_) {
+      return Status::InvalidArgument("encode: wrong block counts");
+    }
+    if (data.empty()) return Status::Ok();
+    std::size_t size = data[0].size();
+    for (const auto& d : data) {
+      if (d.size() != size) {
+        return Status::InvalidArgument("encode: data size mismatch");
+      }
+    }
+    for (const auto& p : parity) {
+      if (p.size() != size) {
+        return Status::InvalidArgument("encode: parity size mismatch");
+      }
+    }
+    return Status::Ok();
+  }
+
+  std::size_t k_;
+  std::size_t m_;
+  GfMatrix generator_;  // n x k systematic generator
+  RsConstruction construction_;
+};
+
+/// Single-parity XOR codec: parity = XOR of all data blocks. Tolerates
+/// exactly one erasure; used as a cheap baseline and for tests.
+class XorCodec final : public Codec {
+ public:
+  explicit XorCodec(std::size_t k) : k_(k) {}
+
+  std::size_t k() const override { return k_; }
+  std::size_t m() const override { return 1; }
+  std::string name() const override {
+    return "xor(" + std::to_string(k_) + ",1)";
+  }
+
+  Status encode(const std::vector<ByteSpan>& data,
+                const std::vector<MutableByteSpan>& parity) const override {
+    if (data.size() != k_ || parity.size() != 1) {
+      return Status::InvalidArgument("xor encode: block counts");
+    }
+    std::fill(parity[0].begin(), parity[0].end(), 0);
+    for (const auto& d : data) {
+      if (d.size() != parity[0].size()) {
+        return Status::InvalidArgument("xor encode: size mismatch");
+      }
+      gf::region_xor(d, parity[0]);
+    }
+    return Status::Ok();
+  }
+
+  Status decode(const std::vector<MutableByteSpan>& blocks,
+                const std::vector<std::size_t>& erased) const override {
+    if (blocks.size() != k_ + 1) {
+      return Status::InvalidArgument("xor decode: expected n blocks");
+    }
+    if (erased.size() > 1) {
+      return Status::DataLoss("xor tolerates one erasure");
+    }
+    if (erased.empty()) return Status::Ok();
+    std::size_t e = erased[0];
+    std::fill(blocks[e].begin(), blocks[e].end(), 0);
+    for (std::size_t i = 0; i < blocks.size(); ++i) {
+      if (i == e) continue;
+      gf::region_xor(blocks[i], blocks[e]);
+    }
+    return Status::Ok();
+  }
+
+  Status update_parity(std::size_t index, ByteSpan delta,
+                       const std::vector<MutableByteSpan>& parity)
+      const override {
+    if (index >= k_ || parity.size() != 1) {
+      return Status::InvalidArgument("xor update_parity: arguments");
+    }
+    gf::region_xor(delta, parity[0]);
+    return Status::Ok();
+  }
+
+ private:
+  std::size_t k_;
+};
+
+}  // namespace
+
+StatusOr<std::unique_ptr<Codec>> make_reed_solomon(
+    std::size_t k, std::size_t m, RsConstruction construction) {
+  if (k == 0 || m == 0 || k + m > gf::kGroupOrder) {
+    return Status::InvalidArgument("reed-solomon requires 1<=k, 1<=m, "
+                                   "k+m<=255");
+  }
+  GfMatrix gen;
+  if (construction == RsConstruction::kVandermonde) {
+    gen = GfMatrix::vandermonde(k + m, k);
+    Status st = gen.make_systematic();
+    if (!st.ok()) return st;
+  } else {
+    // Systematic Cauchy: identity on top, Cauchy block below.
+    gen = GfMatrix(k + m, k);
+    for (std::size_t i = 0; i < k; ++i) gen.at(i, i) = 1;
+    GfMatrix cauchy = GfMatrix::cauchy(m, k);
+    for (std::size_t r = 0; r < m; ++r) {
+      for (std::size_t c = 0; c < k; ++c) {
+        gen.at(k + r, c) = cauchy.at(r, c);
+      }
+    }
+  }
+  return std::unique_ptr<Codec>(new ReedSolomonCodec(
+      k, m, std::move(gen), construction));
+}
+
+std::unique_ptr<Codec> make_xor(std::size_t k) {
+  assert(k >= 1);
+  return std::make_unique<XorCodec>(k);
+}
+
+}  // namespace corec::erasure

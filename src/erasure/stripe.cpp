@@ -1,0 +1,66 @@
+#include "erasure/stripe.hpp"
+
+#include <algorithm>
+
+namespace corec::erasure {
+
+StatusOr<Stripe> build_stripe(const Codec& codec,
+                              const std::vector<ByteSpan>& payloads,
+                              std::size_t min_block_size) {
+  if (payloads.size() > codec.k()) {
+    return Status::InvalidArgument("more payloads than data blocks");
+  }
+  Stripe stripe;
+  stripe.block_size = min_block_size;
+  for (const auto& p : payloads) {
+    stripe.block_size = std::max(stripe.block_size, p.size());
+  }
+  if (stripe.block_size == 0) stripe.block_size = 1;  // degenerate stripe
+
+  stripe.blocks.assign(codec.n(), Bytes(stripe.block_size, 0));
+  stripe.payload_sizes.assign(codec.k(), 0);
+  for (std::size_t i = 0; i < payloads.size(); ++i) {
+    std::copy(payloads[i].begin(), payloads[i].end(),
+              stripe.blocks[i].begin());
+    stripe.payload_sizes[i] = payloads[i].size();
+  }
+  COREC_RETURN_IF_ERROR(reencode_parity(codec, &stripe));
+  return stripe;
+}
+
+Status reencode_parity(const Codec& codec, Stripe* stripe) {
+  std::vector<ByteSpan> data;
+  std::vector<MutableByteSpan> parity;
+  data.reserve(codec.k());
+  parity.reserve(codec.m());
+  for (std::size_t i = 0; i < codec.k(); ++i) {
+    data.emplace_back(stripe->blocks[i]);
+  }
+  for (std::size_t i = codec.k(); i < codec.n(); ++i) {
+    parity.emplace_back(stripe->blocks[i]);
+  }
+  return codec.encode(data, parity);
+}
+
+Status repair_stripe(const Codec& codec, Stripe* stripe,
+                     const std::vector<std::size_t>& erased) {
+  std::vector<MutableByteSpan> blocks;
+  blocks.reserve(stripe->blocks.size());
+  for (auto& b : stripe->blocks) blocks.emplace_back(b);
+  return codec.decode(blocks, erased);
+}
+
+StatusOr<Bytes> extract_payload(const Stripe& stripe, std::size_t i) {
+  if (i >= stripe.payload_sizes.size()) {
+    return Status::InvalidArgument("payload index out of range");
+  }
+  const Bytes& block = stripe.blocks[i];
+  std::size_t size = stripe.payload_sizes[i];
+  if (size > block.size()) {
+    return Status::Internal("payload size exceeds block size");
+  }
+  return Bytes(block.begin(),
+               block.begin() + static_cast<std::ptrdiff_t>(size));
+}
+
+}  // namespace corec::erasure

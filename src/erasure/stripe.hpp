@@ -1,0 +1,42 @@
+// Stripe assembly helpers: pack variable-size object payloads into the
+// fixed-width blocks a codec expects (zero padding), and recover them.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/buffer.hpp"
+#include "common/status.hpp"
+#include "erasure/codec.hpp"
+
+namespace corec::erasure {
+
+/// A materialized stripe: k data blocks followed by m parity blocks, all
+/// `block_size` bytes. Data blocks are zero-padded copies of the source
+/// payloads; the original lengths are kept so payloads round-trip exactly.
+struct Stripe {
+  std::size_t block_size = 0;
+  std::vector<Bytes> blocks;                // size n = k + m
+  std::vector<std::size_t> payload_sizes;   // size k, pre-padding lengths
+
+  std::size_t n() const { return blocks.size(); }
+};
+
+/// Builds a stripe from up to k payloads (missing trailing payloads are
+/// treated as empty) and encodes parity with `codec`. The block size is
+/// the maximum payload size (or `min_block_size` if larger).
+StatusOr<Stripe> build_stripe(const Codec& codec,
+                              const std::vector<ByteSpan>& payloads,
+                              std::size_t min_block_size = 0);
+
+/// Re-encodes the parity blocks of `stripe` in place using `codec`.
+Status reencode_parity(const Codec& codec, Stripe* stripe);
+
+/// Reconstructs the erased blocks of `stripe` in place.
+Status repair_stripe(const Codec& codec, Stripe* stripe,
+                     const std::vector<std::size_t>& erased);
+
+/// Extracts payload `i` (unpadded) from a stripe's data block.
+StatusOr<Bytes> extract_payload(const Stripe& stripe, std::size_t i);
+
+}  // namespace corec::erasure

@@ -1,0 +1,43 @@
+#include "geom/partition.hpp"
+
+#include <cassert>
+
+namespace corec::geom {
+namespace {
+
+std::size_t payload_bytes(const BoundingBox& box,
+                          const FitOptions& options) {
+  return static_cast<std::size_t>(box.volume()) * options.element_size;
+}
+
+bool splittable(const BoundingBox& box, const FitOptions& options) {
+  return box.extent(box.longest_dim()) >= 2 * options.min_extent &&
+         box.extent(box.longest_dim()) >= 2;
+}
+
+void fit_recursive(const BoundingBox& box, const FitOptions& options,
+                   std::vector<FittedPiece>* out) {
+  if (payload_bytes(box, options) <= options.target_bytes ||
+      !splittable(box, options)) {
+    out->push_back({box, payload_bytes(box, options)});
+    return;
+  }
+  // "get maximum boundary size of obj in dimension n; partition boundary
+  // to half; partition obj to half" — Algorithm 1.
+  auto [lower, upper] = box.split(box.longest_dim());
+  fit_recursive(lower, options, out);
+  fit_recursive(upper, options, out);
+}
+
+}  // namespace
+
+std::vector<FittedPiece> partition_and_fit(const BoundingBox& object,
+                                           const FitOptions& options) {
+  assert(options.element_size > 0);
+  assert(options.target_bytes > 0);
+  std::vector<FittedPiece> out;
+  fit_recursive(object, options, &out);
+  return out;
+}
+
+}  // namespace corec::geom

@@ -1,0 +1,38 @@
+// Algorithm 1 from the paper: geometric partitioning and fitting of a
+// data object. A staged object whose payload exceeds the target size is
+// recursively halved along its longest geometric dimension until every
+// sub-object's payload fits the target range, balancing metadata overhead
+// (too many tiny objects) against access latency (too-large transfers).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "geom/bbox.hpp"
+
+namespace corec::geom {
+
+/// One fitted sub-object: its region plus payload size in bytes.
+struct FittedPiece {
+  BoundingBox box;
+  std::size_t bytes = 0;
+};
+
+/// Partition policy knobs.
+struct FitOptions {
+  /// Upper bound on a fitted object's payload size, in bytes.
+  std::size_t target_bytes = 1u << 20;
+  /// Bytes per grid point of the staged variable.
+  std::size_t element_size = 8;
+  /// Safety valve: stop splitting below this many grid points per
+  /// dimension even if still above target (prevents degenerate splits).
+  Coord min_extent = 1;
+};
+
+/// Applies Algorithm 1 to `object`. Returns the fitted pieces in
+/// deterministic (split-order DFS, lower half first) order. Every input
+/// grid point appears in exactly one output piece.
+std::vector<FittedPiece> partition_and_fit(const BoundingBox& object,
+                                           const FitOptions& options);
+
+}  // namespace corec::geom

@@ -1,0 +1,92 @@
+#include "gf/gf256.hpp"
+
+#include <cassert>
+#include <cstring>
+
+namespace corec::gf {
+namespace detail {
+
+const Tables& tables() {
+  // Built once on first use; ~80 KiB, immutable afterwards.
+  static const Tables t;
+  return t;
+}
+
+}  // namespace detail
+
+std::uint8_t inv(std::uint8_t a) {
+  assert(a != 0 && "inverse of zero");
+  return detail::tables().inv[a];
+}
+
+std::uint8_t div(std::uint8_t a, std::uint8_t b) {
+  assert(b != 0 && "division by zero");
+  if (a == 0) return 0;
+  const auto& t = detail::tables();
+  unsigned la = t.log[a];
+  unsigned lb = t.log[b];
+  return t.exp[la + kGroupOrder - lb];
+}
+
+std::uint8_t pow(std::uint8_t a, unsigned e) {
+  if (e == 0) return 1;
+  if (a == 0) return 0;
+  const auto& t = detail::tables();
+  unsigned le = (static_cast<unsigned>(t.log[a]) * e) % kGroupOrder;
+  return t.exp[le];
+}
+
+void region_xor(std::span<const std::uint8_t> src,
+                std::span<std::uint8_t> dst) {
+  assert(src.size() == dst.size());
+  std::size_t n = src.size();
+  std::size_t i = 0;
+  // Word-wide main loop; memcpy keeps it alias/alignment safe and the
+  // compiler lowers it to plain 64-bit loads/stores.
+  for (; i + 8 <= n; i += 8) {
+    std::uint64_t a, b;
+    std::memcpy(&a, src.data() + i, 8);
+    std::memcpy(&b, dst.data() + i, 8);
+    b ^= a;
+    std::memcpy(dst.data() + i, &b, 8);
+  }
+  for (; i < n; ++i) dst[i] ^= src[i];
+}
+
+void region_mul_add(std::uint8_t c, std::span<const std::uint8_t> src,
+                    std::span<std::uint8_t> dst) {
+  assert(src.size() == dst.size());
+  if (c == 0) return;
+  if (c == 1) {
+    region_xor(src, dst);
+    return;
+  }
+  const auto& row = detail::tables().mul[c];
+  std::size_t n = src.size();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    dst[i] ^= row[src[i]];
+    dst[i + 1] ^= row[src[i + 1]];
+    dst[i + 2] ^= row[src[i + 2]];
+    dst[i + 3] ^= row[src[i + 3]];
+  }
+  for (; i < n; ++i) dst[i] ^= row[src[i]];
+}
+
+void region_mul(std::uint8_t c, std::span<const std::uint8_t> src,
+                std::span<std::uint8_t> dst) {
+  assert(src.size() == dst.size());
+  if (c == 0) {
+    std::memset(dst.data(), 0, dst.size());
+    return;
+  }
+  if (c == 1) {
+    std::memcpy(dst.data(), src.data(), src.size());
+    return;
+  }
+  const auto& row = detail::tables().mul[c];
+  std::size_t n = src.size();
+  for (std::size_t i = 0; i < n; ++i) dst[i] = row[src[i]];
+}
+
+}  // namespace corec::gf

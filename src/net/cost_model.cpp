@@ -1,0 +1,42 @@
+#include "net/cost_model.hpp"
+
+#include <chrono>
+#include <vector>
+
+#include "common/buffer.hpp"
+#include "erasure/codec.hpp"
+
+namespace corec::net {
+
+double calibrate_encode_rate(std::size_t block_bytes) {
+  auto codec_or = erasure::make_reed_solomon(3, 1);
+  if (!codec_or.ok()) return CostModel{}.gf_region_rate;
+  auto& codec = *codec_or.value();
+
+  std::vector<Bytes> data(codec.k(), Bytes(block_bytes));
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    for (std::size_t j = 0; j < block_bytes; ++j) {
+      data[i][j] = static_cast<std::uint8_t>(i * 131 + j * 7);
+    }
+  }
+  Bytes parity(block_bytes);
+
+  std::vector<ByteSpan> dspan;
+  for (auto& d : data) dspan.emplace_back(d);
+  std::vector<MutableByteSpan> pspan{MutableByteSpan(parity)};
+
+  // Warm up tables, then time a few encode rounds.
+  (void)codec.encode(dspan, pspan);
+  auto t0 = std::chrono::steady_clock::now();
+  constexpr int kRounds = 8;
+  for (int r = 0; r < kRounds; ++r) (void)codec.encode(dspan, pspan);
+  auto t1 = std::chrono::steady_clock::now();
+  double secs = std::chrono::duration<double>(t1 - t0).count();
+  if (secs <= 0) return CostModel{}.gf_region_rate;
+  double bytes = static_cast<double>(kRounds) *
+                 static_cast<double>(codec.k()) *
+                 static_cast<double>(block_bytes);
+  return bytes / secs;
+}
+
+}  // namespace corec::net

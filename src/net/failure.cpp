@@ -1,0 +1,45 @@
+#include "net/failure.hpp"
+
+#include <utility>
+
+namespace corec::net {
+
+FailureInjector::FailureInjector(sim::Simulation* sim, FailFn on_fail,
+                                 ReplaceFn on_replace)
+    : sim_(sim), on_fail_(std::move(on_fail)),
+      on_replace_(std::move(on_replace)) {}
+
+void FailureInjector::schedule(const FailureEvent& event) {
+  ServerId server = event.server;
+  if (event.kind == FailureEvent::Kind::kFail) {
+    sim_->at(event.time, [this, server] { on_fail_(server); });
+  } else {
+    sim_->at(event.time, [this, server] { on_replace_(server); });
+  }
+}
+
+void FailureInjector::schedule_all(
+    const std::vector<FailureEvent>& script) {
+  for (const auto& e : script) schedule(e);
+}
+
+std::vector<FailureEvent> FailureInjector::schedule_mtbf(
+    double mtbf_seconds, SimTime start, SimTime end,
+    std::size_t num_servers, SimTime replace_delay, Rng* rng) {
+  std::vector<FailureEvent> script;
+  SimTime t = start;
+  for (;;) {
+    t += from_seconds(rng->exponential(mtbf_seconds));
+    if (t >= end) break;
+    auto victim =
+        static_cast<ServerId>(rng->uniform(
+            static_cast<std::uint32_t>(num_servers)));
+    script.push_back({t, victim, FailureEvent::Kind::kFail});
+    script.push_back(
+        {t + replace_delay, victim, FailureEvent::Kind::kReplace});
+  }
+  schedule_all(script);
+  return script;
+}
+
+}  // namespace corec::net

@@ -1,0 +1,54 @@
+// Failure injection: scripted failure/replacement schedules for the
+// figure reproductions, plus an exponential MTBF process for stress and
+// property tests.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "sim/simulation.hpp"
+
+namespace corec::net {
+
+/// One scripted fault-domain event.
+struct FailureEvent {
+  SimTime time = 0;
+  ServerId server = kInvalidServer;
+  enum class Kind { kFail, kReplace } kind = Kind::kFail;
+};
+
+/// Registers scripted events with the simulation; the callbacks are the
+/// cluster's kill/replace entry points.
+class FailureInjector {
+ public:
+  using FailFn = std::function<void(ServerId)>;
+  using ReplaceFn = std::function<void(ServerId)>;
+
+  FailureInjector(sim::Simulation* sim, FailFn on_fail,
+                  ReplaceFn on_replace);
+
+  /// Schedules one scripted event.
+  void schedule(const FailureEvent& event);
+
+  /// Schedules all events in a script.
+  void schedule_all(const std::vector<FailureEvent>& script);
+
+  /// Draws failure times from an exponential inter-arrival process with
+  /// the given MTBF (whole-system mean time between failures) over
+  /// [start, end), choosing victims uniformly among `num_servers`.
+  /// Returns the generated script (also scheduled). Each failure is
+  /// followed by a replacement after `replace_delay`.
+  std::vector<FailureEvent> schedule_mtbf(double mtbf_seconds,
+                                          SimTime start, SimTime end,
+                                          std::size_t num_servers,
+                                          SimTime replace_delay, Rng* rng);
+
+ private:
+  sim::Simulation* sim_;
+  FailFn on_fail_;
+  ReplaceFn on_replace_;
+};
+
+}  // namespace corec::net

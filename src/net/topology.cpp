@@ -1,0 +1,60 @@
+#include "net/topology.hpp"
+
+#include <cassert>
+
+namespace corec::net {
+
+Topology::Topology(std::size_t cabinets, std::size_t nodes_per_cabinet,
+                   std::size_t servers_per_node)
+    : cabinets_(cabinets),
+      nodes_per_cabinet_(nodes_per_cabinet),
+      servers_per_node_(servers_per_node) {
+  assert(cabinets >= 1 && nodes_per_cabinet >= 1 && servers_per_node >= 1);
+}
+
+Topology Topology::flat(std::size_t servers, std::size_t cabinets) {
+  assert(servers % cabinets == 0 &&
+         "flat topology needs servers divisible by cabinets");
+  return Topology(cabinets, servers / cabinets, 1);
+}
+
+Location Topology::location(ServerId id) const {
+  assert(id < num_servers());
+  std::size_t node_global = id / servers_per_node_;
+  Location loc;
+  loc.cabinet = static_cast<std::uint32_t>(node_global / nodes_per_cabinet_);
+  loc.node = static_cast<std::uint32_t>(node_global % nodes_per_cabinet_);
+  return loc;
+}
+
+bool Topology::same_cabinet(ServerId a, ServerId b) const {
+  return location(a).cabinet == location(b).cabinet;
+}
+
+bool Topology::same_node(ServerId a, ServerId b) const {
+  Location la = location(a), lb = location(b);
+  return la.cabinet == lb.cabinet && la.node == lb.node;
+}
+
+std::vector<ServerId> Topology::make_ring() const {
+  // Round-robin across cabinets: positions 0..C-1 take the first server
+  // of each cabinet, positions C..2C-1 the second, and so on. Within a
+  // cabinet, servers are taken node-major, so consecutive same-cabinet
+  // picks land on different nodes when possible.
+  std::vector<ServerId> ring;
+  ring.reserve(num_servers());
+  std::size_t per_cabinet = nodes_per_cabinet_ * servers_per_node_;
+  for (std::size_t i = 0; i < per_cabinet; ++i) {
+    // node-major enumeration inside the cabinet: server index i maps to
+    // node (i % nodes_per_cabinet_), slot (i / nodes_per_cabinet_).
+    std::size_t node = i % nodes_per_cabinet_;
+    std::size_t slot = i / nodes_per_cabinet_;
+    for (std::size_t c = 0; c < cabinets_; ++c) {
+      ring.push_back(static_cast<ServerId>(
+          (c * nodes_per_cabinet_ + node) * servers_per_node_ + slot));
+    }
+  }
+  return ring;
+}
+
+}  // namespace corec::net

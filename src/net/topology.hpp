@@ -1,0 +1,63 @@
+// Physical organization of staging servers (cabinet / node / server) and
+// the topology-aware logical ring from Section III-A: server IDs are
+// reordered so that any n consecutive ring positions fall in n distinct
+// failure domains, which lets grouped placement survive correlated
+// failures (e.g. a whole cabinet losing power).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace corec::net {
+
+/// Physical placement of one staging server.
+struct Location {
+  std::uint32_t cabinet = 0;
+  std::uint32_t node = 0;
+
+  friend bool operator==(const Location& a, const Location& b) {
+    return a.cabinet == b.cabinet && a.node == b.node;
+  }
+};
+
+/// Regular cabinet/node/server hierarchy. Physical server IDs are dense:
+/// id = (cabinet * nodes_per_cabinet + node) * servers_per_node + s.
+class Topology {
+ public:
+  Topology(std::size_t cabinets, std::size_t nodes_per_cabinet,
+           std::size_t servers_per_node);
+
+  /// Flat topology helper: every server on its own node, `cabinets`
+  /// failure domains, servers distributed round-robin.
+  static Topology flat(std::size_t servers, std::size_t cabinets = 1);
+
+  std::size_t num_servers() const {
+    return cabinets_ * nodes_per_cabinet_ * servers_per_node_;
+  }
+  std::size_t num_cabinets() const { return cabinets_; }
+  std::size_t nodes_per_cabinet() const { return nodes_per_cabinet_; }
+  std::size_t servers_per_node() const { return servers_per_node_; }
+
+  /// Physical location of a server.
+  Location location(ServerId id) const;
+
+  /// True if the two servers share a failure domain at cabinet or node
+  /// granularity.
+  bool same_cabinet(ServerId a, ServerId b) const;
+  bool same_node(ServerId a, ServerId b) const;
+
+  /// Topology-aware logical ring: position i on the ring maps to a
+  /// physical server such that consecutive positions alternate across
+  /// cabinets (round-robin over cabinets, then nodes). Any window of up
+  /// to num_cabinets() consecutive positions touches distinct cabinets.
+  std::vector<ServerId> make_ring() const;
+
+ private:
+  std::size_t cabinets_;
+  std::size_t nodes_per_cabinet_;
+  std::size_t servers_per_node_;
+};
+
+}  // namespace corec::net

@@ -1,0 +1,33 @@
+#include "resilience/groups.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace corec::resilience {
+
+std::vector<ServerId> ring_group(const staging::StagingService& service,
+                                 ServerId s, std::size_t group_size) {
+  const auto& ring = service.ring();
+  assert(group_size >= 1 && group_size <= ring.size());
+  std::size_t pos = service.ring_position(s);
+  std::size_t num_groups = std::max<std::size_t>(1, ring.size() / group_size);
+  std::size_t group_idx = std::min(pos / group_size, num_groups - 1);
+  std::size_t begin = group_idx * group_size;
+  std::size_t end = (group_idx == num_groups - 1) ? ring.size()
+                                                  : begin + group_size;
+  std::vector<ServerId> members;
+  members.reserve(end - begin);
+  for (std::size_t i = begin; i < end; ++i) members.push_back(ring[i]);
+  return members;
+}
+
+std::vector<ServerId> ring_group_from(const staging::StagingService& service,
+                                      ServerId s, std::size_t group_size) {
+  std::vector<ServerId> members = ring_group(service, s, group_size);
+  auto it = std::find(members.begin(), members.end(), s);
+  assert(it != members.end());
+  std::rotate(members.begin(), it, members.end());
+  return members;
+}
+
+}  // namespace corec::resilience

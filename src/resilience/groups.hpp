@@ -1,0 +1,27 @@
+// Grouped placement (Section III-A): the topology-aware logical ring is
+// chopped into fixed windows — replication groups of size N_level+1 and
+// erasure-coding groups of size n = k+m. Because the ring alternates
+// failure domains, members of one group land in distinct cabinets/nodes.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.hpp"
+#include "staging/service.hpp"
+
+namespace corec::resilience {
+
+/// Ring-window group of size `group_size` containing server `s`:
+/// positions [p - p % group_size, ...) of the logical ring. The final
+/// window absorbs the remainder when the ring size is not divisible.
+std::vector<ServerId> ring_group(const staging::StagingService& service,
+                                 ServerId s, std::size_t group_size);
+
+/// Group members ordered so `s` comes first, then the others in ring
+/// order (wrapping inside the group) — the stripe layout with the
+/// primary in slot 0.
+std::vector<ServerId> ring_group_from(const staging::StagingService& service,
+                                      ServerId s, std::size_t group_size);
+
+}  // namespace corec::resilience

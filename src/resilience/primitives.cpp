@@ -1,0 +1,366 @@
+#include "resilience/primitives.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "resilience/groups.hpp"
+
+namespace corec::resilience {
+
+using staging::Breakdown;
+using staging::DataObject;
+using staging::ObjectDescriptor;
+using staging::ObjectLocation;
+using staging::Protection;
+using staging::ShardIndex;
+using staging::StagingService;
+using staging::StoredKind;
+
+SimTime place_replicated(StagingService& service, const DataObject& obj,
+                         ServerId primary, std::size_t n_replicas,
+                         SimTime arrived, Breakdown* bd) {
+  const auto& cost = service.cost();
+
+  // Primary copy.
+  Status st = service.store_at(primary, obj, StoredKind::kPrimary);
+  assert(st.ok());
+  (void)st;
+
+  // Replica targets: the other members of the replication group, alive;
+  // walk the ring past the group if too many members are dead.
+  std::vector<ServerId> replicas;
+  auto group = ring_group_from(service, primary,
+                               n_replicas + 1);
+  for (std::size_t i = 1; i < group.size() && replicas.size() < n_replicas;
+       ++i) {
+    if (service.alive(group[i])) replicas.push_back(group[i]);
+  }
+  for (std::size_t step = 1;
+       replicas.size() < n_replicas && step < service.num_servers();
+       ++step) {
+    ServerId cand = service.ring_next(primary, n_replicas + step);
+    if (cand != primary && service.alive(cand) &&
+        std::find(replicas.begin(), replicas.end(), cand) ==
+            replicas.end()) {
+      replicas.push_back(cand);
+    }
+  }
+
+  // Pipelined replica chain: durable after N link hops plus one
+  // serialization of the payload (C_r = l * N + c).
+  SimTime durable = arrived;
+  SimTime serialization =
+      cost.transfer_time(obj.logical_size) - cost.link_latency;
+  for (std::size_t i = 0; i < replicas.size(); ++i) {
+    SimTime arrival = arrived +
+                      static_cast<SimTime>(i + 1) * cost.link_latency +
+                      serialization;
+    bd->transport += cost.link_latency;
+    SimTime service_time = cost.copy_time(obj.logical_size);
+    bd->copy += service_time;
+    DataObject replica = obj;
+    Status rst =
+        service.store_at(replicas[i], std::move(replica),
+                         StoredKind::kReplica);
+    assert(rst.ok());
+    (void)rst;
+    durable = std::max(durable,
+                       service.serve_at(replicas[i], arrival, service_time));
+  }
+  bd->transport += replicas.empty() ? 0 : serialization;
+
+  ObjectLocation loc;
+  loc.primary = primary;
+  loc.protection =
+      replicas.empty() ? Protection::kNone : Protection::kReplicated;
+  loc.replicas = std::move(replicas);
+  loc.logical_size = obj.logical_size;
+  service.directory().upsert(obj.desc, loc);
+  bd->metadata += cost.metadata_op;
+  return durable + cost.metadata_op;
+}
+
+SimTime place_encoded(StagingService& service, const DataObject& obj,
+                      ServerId primary, std::size_t k, std::size_t m,
+                      ServerId encoder, SimTime start, Breakdown* bd,
+                      SimTime* encode_done) {
+  const auto& cost = service.cost();
+  const std::size_t n = k + m;
+  const std::size_t chunk_size =
+      (obj.logical_size + k - 1) / std::max<std::size_t>(k, 1);
+
+  // Stripe layout: coding-group members with the primary in slot 0.
+  std::vector<ServerId> stripe = ring_group_from(service, primary, n);
+  // Undersized trailing group: extend along the ring (distinct servers).
+  for (std::size_t step = 1;
+       stripe.size() < n && step < service.num_servers(); ++step) {
+    ServerId cand = service.ring_next(primary, n - 1 + step);
+    if (std::find(stripe.begin(), stripe.end(), cand) == stripe.end()) {
+      stripe.push_back(cand);
+    }
+  }
+  stripe.resize(std::min(stripe.size(), n));
+  assert(stripe.size() == n && "cluster smaller than stripe width");
+
+  // Encode on `encoder` (primary, or the helper chosen by the
+  // conflict-avoiding workflow).
+  SimTime enc = cost.encode_time(k, m, chunk_size);
+  bd->encode += enc;
+  SimTime t_enc = service.serve_at(encoder, start, enc);
+  if (encode_done != nullptr) *encode_done = t_enc;
+
+  // Materialize chunks (real payloads) or phantom shards.
+  std::vector<Bytes> chunk_bytes;
+  std::vector<Bytes> parity_bytes;
+  if (!obj.phantom) {
+    Bytes padded = obj.data;
+    padded.resize(chunk_size * k, 0);
+    chunk_bytes.reserve(k);
+    for (std::size_t i = 0; i < k; ++i) {
+      chunk_bytes.emplace_back(
+          padded.begin() + static_cast<std::ptrdiff_t>(i * chunk_size),
+          padded.begin() +
+              static_cast<std::ptrdiff_t>((i + 1) * chunk_size));
+    }
+    parity_bytes.assign(m, Bytes(chunk_size, 0));
+    const auto& rs = service.codec(static_cast<std::uint32_t>(k),
+                                   static_cast<std::uint32_t>(m));
+    std::vector<ByteSpan> data_spans;
+    std::vector<MutableByteSpan> parity_spans;
+    for (auto& c : chunk_bytes) data_spans.emplace_back(c);
+    for (auto& p : parity_bytes) parity_spans.emplace_back(p);
+    Status est = rs.encode(data_spans, parity_spans);
+    assert(est.ok());
+    (void)est;
+  }
+
+  // Distribute the shards. The encoder keeps its own shard locally;
+  // the others are serialized out over its link, pipelined.
+  SimTime durable = t_enc;
+  std::size_t sent = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    ServerId target = stripe[i];
+    auto shard_desc =
+        obj.desc.shard_of(static_cast<ShardIndex>(1 + i));
+    DataObject shard;
+    if (obj.phantom) {
+      shard = DataObject::make_phantom(shard_desc, chunk_size);
+    } else {
+      Bytes bytes = i < k ? chunk_bytes[i] : parity_bytes[i - k];
+      shard = DataObject::real(shard_desc, std::move(bytes));
+    }
+    Status sst = service.store_at(target, std::move(shard),
+                                  i < k ? StoredKind::kDataChunk
+                                        : StoredKind::kParity);
+    assert(sst.ok());
+    (void)sst;
+
+    SimTime arrival = t_enc;
+    if (target != encoder) {
+      ++sent;
+      SimTime xfer =
+          cost.link_latency +
+          static_cast<SimTime>(sent) *
+              (cost.transfer_time(chunk_size) - cost.link_latency);
+      bd->transport += cost.transfer_time(chunk_size);
+      arrival = t_enc + xfer;
+    }
+    SimTime service_time = cost.copy_time(chunk_size);
+    bd->copy += service_time;
+    durable = std::max(durable,
+                       service.serve_at(target, arrival, service_time));
+  }
+
+  ObjectLocation loc;
+  loc.primary = primary;
+  loc.protection = Protection::kEncoded;
+  loc.stripe_servers = std::move(stripe);
+  loc.k = static_cast<std::uint32_t>(k);
+  loc.m = static_cast<std::uint32_t>(m);
+  loc.chunk_size = chunk_size;
+  loc.logical_size = obj.logical_size;
+  service.directory().upsert(obj.desc, loc);
+  bd->metadata += cost.metadata_op;
+  return durable + cost.metadata_op;
+}
+
+SimTime charge_stripe_peer_reads(StagingService& service,
+                                 const ObjectDescriptor& desc,
+                                 ServerId reader, SimTime start,
+                                 Breakdown* bd) {
+  const ObjectLocation* loc = service.directory().find(desc);
+  if (loc == nullptr || loc->protection != Protection::kEncoded) {
+    return start;
+  }
+  const auto& cost = service.cost();
+  SimTime gathered = start;
+  for (std::uint32_t i = 0; i < loc->k; ++i) {
+    ServerId s = loc->stripe_servers[i];
+    if (s == reader || !service.alive(s)) continue;
+    SimTime service_time =
+        cost.request_overhead + cost.copy_time(loc->chunk_size);
+    bd->copy += service_time;
+    SimTime t1 = service.serve_at(s, start + cost.link_latency,
+                                  service_time);
+    SimTime xfer = cost.transfer_time(loc->chunk_size);
+    bd->transport += cost.link_latency + xfer;
+    gathered = std::max(gathered, t1 + xfer);
+  }
+  return gathered;
+}
+
+void retire_object(StagingService& service, const ObjectDescriptor& desc) {
+  const ObjectLocation* loc = service.directory().find(desc);
+  if (loc == nullptr) return;
+  if (loc->protection == Protection::kEncoded) {
+    for (std::size_t i = 0; i < loc->stripe_servers.size(); ++i) {
+      service.remove_at(loc->stripe_servers[i],
+                        desc.shard_of(static_cast<ShardIndex>(1 + i)));
+    }
+  } else {
+    service.remove_at(loc->primary, desc);
+    for (ServerId r : loc->replicas) service.remove_at(r, desc);
+  }
+  service.directory().remove(desc);
+}
+
+SimTime rebuild_on(StagingService& service, const ObjectDescriptor& desc,
+                   ServerId target, SimTime start, Breakdown* bd) {
+  const auto& cost = service.cost();
+  ObjectLocation* loc = service.directory().find_mutable(desc);
+  if (loc == nullptr || !service.alive(target)) return start;
+
+  if (loc->protection != Protection::kEncoded) {
+    // Whole-copy repair: does `target` belong to the holder set and
+    // miss its copy?
+    bool is_holder =
+        loc->primary == target ||
+        std::find(loc->replicas.begin(), loc->replicas.end(), target) !=
+            loc->replicas.end();
+    if (!is_holder || service.server(target).store.contains(desc)) {
+      return start;
+    }
+    // Find a surviving copy.
+    ServerId source = kInvalidServer;
+    std::vector<ServerId> holders = loc->replicas;
+    holders.push_back(loc->primary);
+    for (ServerId h : holders) {
+      if (h != target && service.alive(h) &&
+          service.server(h).store.contains(desc)) {
+        source = h;
+        break;
+      }
+    }
+    if (source == kInvalidServer) return start;  // permanently lost
+
+    const staging::StoredObject* stored =
+        service.server(source).store.find(desc);
+    SimTime read_service = cost.request_overhead +
+                           cost.copy_time(loc->logical_size);
+    bd->copy += read_service;
+    SimTime t1 = service.serve_at(source, start + cost.link_latency,
+                                  read_service);
+    SimTime xfer = cost.transfer_time(loc->logical_size);
+    bd->transport += cost.link_latency + xfer;
+    SimTime write_service = cost.copy_time(loc->logical_size);
+    bd->copy += write_service;
+    SimTime t2 = service.serve_at(target, t1 + xfer, write_service);
+    DataObject copy = stored->object;
+    copy.desc = desc;
+    Status st = service.store_at(
+        target, std::move(copy),
+        loc->primary == target ? StoredKind::kPrimary
+                               : StoredKind::kReplica);
+    assert(st.ok());
+    (void)st;
+    return t2;
+  }
+
+  // Encoded object: reconstruct the shards that should live on target.
+  const std::uint32_t k = loc->k;
+  const std::uint32_t n = loc->k + loc->m;
+  std::vector<std::uint32_t> missing_here;
+  std::vector<std::size_t> erased;
+  std::vector<std::uint32_t> survivors;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    ServerId s = loc->stripe_servers[i];
+    auto shard_desc = desc.shard_of(static_cast<ShardIndex>(1 + i));
+    if (service.alive(s) && service.server(s).store.contains(shard_desc)) {
+      survivors.push_back(i);
+    } else {
+      erased.push_back(i);
+      if (s == target) missing_here.push_back(i);
+    }
+  }
+  if (missing_here.empty()) return start;
+  if (survivors.size() < k) return start;  // unrecoverable for now
+
+  // Gather k surviving shards at the target and decode there.
+  SimTime gathered = start;
+  std::size_t used = 0;
+  for (std::uint32_t i : survivors) {
+    if (used == k) break;
+    ++used;
+    ServerId s = loc->stripe_servers[i];
+    SimTime read_service =
+        cost.request_overhead + cost.copy_time(loc->chunk_size);
+    bd->copy += read_service;
+    SimTime t1 = service.serve_at(s, start + cost.link_latency,
+                                  read_service);
+    SimTime xfer = cost.transfer_time(loc->chunk_size);
+    bd->transport += cost.link_latency + xfer;
+    gathered = std::max(gathered, t1 + xfer);
+  }
+  SimTime decode_service =
+      cost.decode_time(k, erased.size(), loc->chunk_size);
+  bd->decode += decode_service;
+  SimTime t_dec = service.serve_at(target, gathered, decode_service);
+
+  // Real reconstruction when the shards carry real bytes.
+  bool phantom = false;
+  std::vector<Bytes> blocks(n, Bytes(loc->chunk_size, 0));
+  for (std::uint32_t i : survivors) {
+    const staging::StoredObject* stored =
+        service.server(loc->stripe_servers[i])
+            .store.find(desc.shard_of(static_cast<ShardIndex>(1 + i)));
+    if (stored->object.phantom) {
+      phantom = true;
+      break;
+    }
+    blocks[i] = stored->object.data;
+    blocks[i].resize(loc->chunk_size, 0);
+  }
+  if (!phantom) {
+    const auto& rs = service.codec(loc->k, loc->m);
+    std::vector<MutableByteSpan> spans;
+    for (auto& b : blocks) spans.emplace_back(b);
+    Status st = rs.decode(spans, erased);
+    assert(st.ok());
+    (void)st;
+  }
+  for (std::uint32_t i : missing_here) {
+    auto shard_desc = desc.shard_of(static_cast<ShardIndex>(1 + i));
+    DataObject shard =
+        phantom ? DataObject::make_phantom(shard_desc, loc->chunk_size)
+                : DataObject::real(shard_desc, blocks[i]);
+    Status st = service.store_at(target, std::move(shard),
+                                 i < k ? StoredKind::kDataChunk
+                                       : StoredKind::kParity);
+    assert(st.ok());
+    (void)st;
+  }
+  return t_dec;
+}
+
+double replication_probability_for_constraint(double S,
+                                              std::size_t n_level,
+                                              std::size_t k,
+                                              std::size_t m) {
+  double er = 1.0 / (static_cast<double>(n_level) + 1.0);
+  double ee = static_cast<double>(k) / static_cast<double>(k + m);
+  if (S <= 0.0 || er >= ee) return 0.0;
+  double pr = er * (S - ee) / (S * (er - ee));
+  return std::clamp(pr, 0.0, 1.0);
+}
+
+}  // namespace corec::resilience

@@ -1,0 +1,105 @@
+// Thread-safe facade over ObjectStore + Directory for real-thread
+// deployments of the staging server (as opposed to the virtual-time
+// simulation, which is single-threaded by construction). Multiple
+// client threads may put/get/erase concurrently; a shared mutex allows
+// concurrent readers.
+#pragma once
+
+#include <shared_mutex>
+
+#include "staging/directory.hpp"
+#include "staging/object_store.hpp"
+
+namespace corec::staging {
+
+/// Mutex-guarded object store for concurrent access.
+class ConcurrentStore {
+ public:
+  explicit ConcurrentStore(std::size_t capacity_bytes = 0)
+      : store_(capacity_bytes) {}
+
+  Status put(DataObject object, StoredKind kind) {
+    std::unique_lock lock(mutex_);
+    return store_.put(std::move(object), kind);
+  }
+
+  /// Copies the object out (no reference escapes the lock).
+  StatusOr<DataObject> get(const ObjectDescriptor& desc) const {
+    std::shared_lock lock(mutex_);
+    const StoredObject* found = store_.find(desc);
+    if (found == nullptr) {
+      return Status::NotFound("object not stored: " + desc.to_string());
+    }
+    return found->object;
+  }
+
+  bool erase(const ObjectDescriptor& desc) {
+    std::unique_lock lock(mutex_);
+    return store_.erase(desc);
+  }
+
+  bool contains(const ObjectDescriptor& desc) const {
+    std::shared_lock lock(mutex_);
+    return store_.contains(desc);
+  }
+
+  std::size_t count() const {
+    std::shared_lock lock(mutex_);
+    return store_.count();
+  }
+
+  std::size_t total_bytes() const {
+    std::shared_lock lock(mutex_);
+    return store_.total_bytes();
+  }
+
+  void clear() {
+    std::unique_lock lock(mutex_);
+    store_.clear();
+  }
+
+ private:
+  mutable std::shared_mutex mutex_;
+  ObjectStore store_;
+};
+
+/// Mutex-guarded metadata directory for concurrent access.
+class ConcurrentDirectory {
+ public:
+  void upsert(const ObjectDescriptor& desc, ObjectLocation location) {
+    std::unique_lock lock(mutex_);
+    dir_.upsert(desc, std::move(location));
+  }
+
+  bool remove(const ObjectDescriptor& desc) {
+    std::unique_lock lock(mutex_);
+    return dir_.remove(desc);
+  }
+
+  /// Copy-out lookup.
+  StatusOr<ObjectLocation> find(const ObjectDescriptor& desc) const {
+    std::shared_lock lock(mutex_);
+    const ObjectLocation* loc = dir_.find(desc);
+    if (loc == nullptr) {
+      return Status::NotFound("not registered: " + desc.to_string());
+    }
+    return *loc;
+  }
+
+  std::vector<ObjectDescriptor> query_latest(
+      VarId var, Version version, const geom::BoundingBox& region) const {
+    std::shared_lock lock(mutex_);
+    return dir_.query_latest(var, version, region);
+  }
+
+  std::size_t size() const {
+    std::shared_lock lock(mutex_);
+    return dir_.size();
+  }
+
+ private:
+  mutable std::shared_mutex mutex_;
+  Directory dir_;
+};
+
+}  // namespace corec::staging

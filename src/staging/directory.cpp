@@ -1,0 +1,107 @@
+#include "staging/directory.hpp"
+
+#include <algorithm>
+
+namespace corec::staging {
+
+void Directory::upsert(const ObjectDescriptor& desc,
+                       ObjectLocation location) {
+  auto [it, inserted] = locations_.insert_or_assign(desc, location);
+  (void)it;
+  if (inserted) {
+    by_version_[{desc.var, desc.version}].push_back(desc);
+    entities_[entity_key(desc.var, desc.box)] = desc;
+  }
+}
+
+bool Directory::remove(const ObjectDescriptor& desc) {
+  auto it = locations_.find(desc);
+  if (it == locations_.end()) return false;
+  locations_.erase(it);
+  auto vit = by_version_.find({desc.var, desc.version});
+  if (vit != by_version_.end()) {
+    auto& vec = vit->second;
+    vec.erase(std::remove(vec.begin(), vec.end(), desc), vec.end());
+    if (vec.empty()) by_version_.erase(vit);
+  }
+  auto eit = entities_.find(entity_key(desc.var, desc.box));
+  if (eit != entities_.end() && eit->second == desc) {
+    entities_.erase(eit);
+  }
+  return true;
+}
+
+const ObjectDescriptor* Directory::find_entity(
+    VarId var, const geom::BoundingBox& box) const {
+  auto it = entities_.find(entity_key(var, box));
+  return it == entities_.end() ? nullptr : &it->second;
+}
+
+const ObjectLocation* Directory::find(const ObjectDescriptor& desc) const {
+  auto it = locations_.find(desc);
+  return it == locations_.end() ? nullptr : &it->second;
+}
+
+ObjectLocation* Directory::find_mutable(const ObjectDescriptor& desc) {
+  auto it = locations_.find(desc);
+  return it == locations_.end() ? nullptr : &it->second;
+}
+
+std::vector<ObjectDescriptor> Directory::query(
+    VarId var, Version version, const geom::BoundingBox& region) const {
+  std::vector<ObjectDescriptor> out;
+  auto it = by_version_.find({var, version});
+  if (it == by_version_.end()) return out;
+  for (const auto& desc : it->second) {
+    if (desc.box.intersects(region)) out.push_back(desc);
+  }
+  return out;
+}
+
+std::vector<ObjectDescriptor> Directory::query_latest(
+    VarId var, Version version, const geom::BoundingBox& region) const {
+  // Scan versions from newest (<= version) to oldest; keep descriptors
+  // whose box intersects the still-uncovered part of the region. The
+  // shadow test subtracts each accepted box from the uncovered set;
+  // when fragmentation exceeds a cap (pathological overlap patterns)
+  // we fall back to including every intersecting descriptor — callers
+  // assemble oldest-first, so duplicated coverage is still correct.
+  constexpr std::size_t kFragmentCap = 64;
+  std::vector<ObjectDescriptor> out;
+  std::vector<geom::BoundingBox> uncovered{region};
+  bool exact = true;
+  auto lo = by_version_.lower_bound({var, 0});
+  auto hi = by_version_.upper_bound({var, version});
+  std::vector<const std::vector<ObjectDescriptor>*> buckets;
+  for (auto it = lo; it != hi; ++it) buckets.push_back(&it->second);
+  for (auto bit = buckets.rbegin(); bit != buckets.rend(); ++bit) {
+    if (exact && uncovered.empty()) break;
+    for (const auto& desc : **bit) {
+      if (!exact) {
+        if (desc.box.intersects(region)) out.push_back(desc);
+        continue;
+      }
+      bool hit = false;
+      for (const auto& piece : uncovered) {
+        if (desc.box.intersects(piece)) {
+          hit = true;
+          break;
+        }
+      }
+      if (!hit) continue;
+      out.push_back(desc);
+      std::vector<geom::BoundingBox> next;
+      for (const auto& piece : uncovered) {
+        piece.subtract(desc.box, &next);
+      }
+      uncovered = std::move(next);
+      if (uncovered.empty()) break;
+      if (uncovered.size() > kFragmentCap) {
+        exact = false;  // degrade to include-all for the rest
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace corec::staging

@@ -1,0 +1,109 @@
+// Distributed metadata directory (the DataSpaces DHT substitute). Keeps
+// the authoritative mapping from object descriptors to their placement
+// and protection state, and answers geometric queries (which objects of
+// variable v, version t intersect region R). The *cost* of directory
+// operations is charged through the cluster's cost model; this class is
+// the state.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.hpp"
+#include "common/types.hpp"
+#include "staging/object.hpp"
+
+namespace corec::staging {
+
+/// How an object is currently protected.
+enum class Protection : std::uint8_t {
+  kNone,        // single copy on the primary
+  kReplicated,  // primary + replicas
+  kEncoded,     // striped into k data + m parity chunks
+};
+
+inline const char* to_string(Protection p) {
+  switch (p) {
+    case Protection::kNone: return "none";
+    case Protection::kReplicated: return "replicated";
+    case Protection::kEncoded: return "encoded";
+  }
+  return "?";
+}
+
+/// Placement record for one whole object.
+struct ObjectLocation {
+  ServerId primary = kInvalidServer;
+  Protection protection = Protection::kNone;
+  std::vector<ServerId> replicas;        // kReplicated
+  std::vector<ServerId> stripe_servers;  // kEncoded: n = k + m entries
+  std::uint32_t k = 0;                   // kEncoded stripe geometry
+  std::uint32_t m = 0;
+  std::size_t chunk_size = 0;            // bytes per chunk (padded)
+  std::size_t logical_size = 0;          // true payload bytes
+};
+
+/// Metadata directory: descriptor -> location plus a per-(var, version)
+/// geometric index for intersection queries.
+class Directory {
+ public:
+  /// Registers or updates the location of `desc` (whole objects only).
+  void upsert(const ObjectDescriptor& desc, ObjectLocation location);
+
+  /// Removes `desc` (object deleted).
+  bool remove(const ObjectDescriptor& desc);
+
+  /// Looks up the location of exactly `desc`.
+  const ObjectLocation* find(const ObjectDescriptor& desc) const;
+  ObjectLocation* find_mutable(const ObjectDescriptor& desc);
+
+  /// All descriptors of (var, version) whose boxes intersect `region`.
+  std::vector<ObjectDescriptor> query(VarId var, Version version,
+                                      const geom::BoundingBox& region)
+      const;
+
+  /// All descriptors of `var` at the latest version <= `version` that
+  /// intersect `region` — DataSpaces "latest version" read semantics.
+  /// An object written at version w is visible to reads at any v >= w
+  /// until overwritten; this returns, per region piece, the newest
+  /// matching descriptor.
+  std::vector<ObjectDescriptor> query_latest(VarId var, Version version,
+                                             const geom::BoundingBox& region)
+      const;
+
+  /// Finds the live descriptor of the region entity (var, box): the
+  /// currently registered object with exactly this variable and box,
+  /// whatever its version. Simulation writes update the same region
+  /// every time step; this lookup turns such writes into updates of one
+  /// entity instead of an unbounded version history.
+  const ObjectDescriptor* find_entity(VarId var,
+                                      const geom::BoundingBox& box) const;
+
+  /// Total number of registered objects.
+  std::size_t size() const { return locations_.size(); }
+
+  /// Iterate every (descriptor, location).
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const auto& [desc, loc] : locations_) fn(desc, loc);
+  }
+
+ private:
+  static ObjectDescriptor entity_key(VarId var,
+                                     const geom::BoundingBox& box) {
+    return ObjectDescriptor{var, 0, box, kWholeObject};
+  }
+
+  std::unordered_map<ObjectDescriptor, ObjectLocation, DescriptorHash>
+      locations_;
+  // (var, version) -> descriptors, for geometric queries.
+  std::map<std::pair<VarId, Version>, std::vector<ObjectDescriptor>>
+      by_version_;
+  // Normalized (var, box) -> live descriptor.
+  std::unordered_map<ObjectDescriptor, ObjectDescriptor, DescriptorHash>
+      entities_;
+};
+
+}  // namespace corec::staging

@@ -1,0 +1,65 @@
+#include "staging/hyperslab.hpp"
+
+#include <cstring>
+
+namespace corec::staging {
+namespace {
+
+// Walks all rows (fixed all-but-last coordinates) of `region` invoking
+// fn(point_at_row_start, run_length).
+template <typename Fn>
+void for_each_row(const geom::BoundingBox& region, Fn&& fn) {
+  const std::size_t dims = region.dims();
+  geom::Point p = region.lo();
+  const auto run =
+      static_cast<std::size_t>(region.extent(dims - 1));
+  for (;;) {
+    fn(p, run);
+    // Odometer over all dims except the last.
+    std::size_t d = dims - 1;
+    bool done = true;
+    while (d-- > 0) {
+      if (++p[d] <= region.hi()[d]) {
+        done = false;
+        break;
+      }
+      p[d] = region.lo()[d];
+    }
+    if (done) break;
+  }
+}
+
+}  // namespace
+
+Status copy_region(ByteSpan src, const geom::BoundingBox& src_box,
+                   MutableByteSpan dst, const geom::BoundingBox& dst_box,
+                   const geom::BoundingBox& region,
+                   std::size_t element_size) {
+  if (!src_box.contains(region) || !dst_box.contains(region)) {
+    return Status::InvalidArgument("region not contained in boxes");
+  }
+  if (src.size() < src_box.volume() * element_size ||
+      dst.size() < dst_box.volume() * element_size) {
+    return Status::InvalidArgument("buffer too small for box");
+  }
+  if (region.dims() == 0) return Status::Ok();
+
+  for_each_row(region, [&](const geom::Point& p, std::size_t run) {
+    std::uint64_t so = geom::linear_offset(src_box, p) * element_size;
+    std::uint64_t po = geom::linear_offset(dst_box, p) * element_size;
+    std::memcpy(dst.data() + po, src.data() + so, run * element_size);
+  });
+  return Status::Ok();
+}
+
+StatusOr<Bytes> extract_region(ByteSpan src,
+                               const geom::BoundingBox& src_box,
+                               const geom::BoundingBox& region,
+                               std::size_t element_size) {
+  Bytes out(static_cast<std::size_t>(region.volume()) * element_size);
+  COREC_RETURN_IF_ERROR(copy_region(src, src_box, MutableByteSpan(out),
+                                    region, region, element_size));
+  return out;
+}
+
+}  // namespace corec::staging

@@ -1,0 +1,28 @@
+// N-dimensional region (hyperslab) copies between row-major payloads —
+// the assembly step of a DataSpaces get() that stitches object pieces
+// into the caller's buffer, and the extraction step of partial writes.
+#pragma once
+
+#include "common/buffer.hpp"
+#include "common/status.hpp"
+#include "geom/bbox.hpp"
+
+namespace corec::staging {
+
+/// Copies the region `region` from `src` (laid out row-major over
+/// `src_box`) into `dst` (row-major over `dst_box`). `region` must be
+/// contained in both boxes; element_size is bytes per grid point.
+/// Copies contiguous runs along the last dimension.
+Status copy_region(ByteSpan src, const geom::BoundingBox& src_box,
+                   MutableByteSpan dst, const geom::BoundingBox& dst_box,
+                   const geom::BoundingBox& region,
+                   std::size_t element_size);
+
+/// Extracts `region` of `src` into a fresh buffer (row-major over
+/// `region`).
+StatusOr<Bytes> extract_region(ByteSpan src,
+                               const geom::BoundingBox& src_box,
+                               const geom::BoundingBox& region,
+                               std::size_t element_size);
+
+}  // namespace corec::staging

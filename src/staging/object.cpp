@@ -1,0 +1,31 @@
+#include "staging/object.hpp"
+
+#include <sstream>
+
+namespace corec::staging {
+
+std::string ObjectDescriptor::to_string() const {
+  std::ostringstream os;
+  os << "var" << var << "@v" << version << box.to_string();
+  if (shard != kWholeObject) os << "#" << shard;
+  return os.str();
+}
+
+std::size_t DescriptorHash::operator()(const ObjectDescriptor& d) const {
+  // FNV-style mixing over the identifying fields.
+  std::uint64_t h = 1469598103934665603ULL;
+  auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ULL;
+  };
+  mix(d.var);
+  mix(d.version);
+  mix(d.shard);
+  for (std::size_t i = 0; i < d.box.dims(); ++i) {
+    mix(static_cast<std::uint64_t>(d.box.lo()[i]));
+    mix(static_cast<std::uint64_t>(d.box.hi()[i]));
+  }
+  return static_cast<std::size_t>(h);
+}
+
+}  // namespace corec::staging

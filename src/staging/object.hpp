@@ -1,0 +1,81 @@
+// The staged-object model: descriptors identify a (variable, version,
+// region, shard) tuple — the DataSpaces object naming scheme extended
+// with a shard index so erasure-coded chunk placement can reuse the same
+// storage plumbing as whole objects.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/buffer.hpp"
+#include "common/types.hpp"
+#include "geom/bbox.hpp"
+
+namespace corec::staging {
+
+/// Shard index semantics: 0 = the whole object; 1..k = erasure data
+/// chunk (i-1); k+1..k+m = parity chunk (i-k-1).
+using ShardIndex = std::uint16_t;
+inline constexpr ShardIndex kWholeObject = 0;
+
+/// Unique name of a staged object (or one shard of it).
+struct ObjectDescriptor {
+  VarId var = 0;
+  Version version = 0;
+  geom::BoundingBox box;
+  ShardIndex shard = kWholeObject;
+
+  /// The same object without shard qualification.
+  ObjectDescriptor base() const {
+    return {var, version, box, kWholeObject};
+  }
+
+  /// Descriptor of shard `i` of this object.
+  ObjectDescriptor shard_of(ShardIndex i) const {
+    return {var, version, box, i};
+  }
+
+  std::string to_string() const;
+
+  friend bool operator==(const ObjectDescriptor& a,
+                         const ObjectDescriptor& b) {
+    return a.var == b.var && a.version == b.version &&
+           a.shard == b.shard && a.box == b.box;
+  }
+};
+
+/// Hash functor for descriptor-keyed maps.
+struct DescriptorHash {
+  std::size_t operator()(const ObjectDescriptor& d) const;
+};
+
+/// A staged payload. Real payloads carry bytes; *phantom* payloads carry
+/// only a size, letting the discrete-event substrate run paper-scale
+/// volumes (hundreds of GB) without allocating them.
+struct DataObject {
+  ObjectDescriptor desc;
+  Bytes data;                     // empty when phantom
+  std::size_t logical_size = 0;   // always the true payload size
+  bool phantom = false;
+
+  /// Real-payload constructor.
+  static DataObject real(ObjectDescriptor d, Bytes bytes) {
+    DataObject o;
+    o.desc = d;
+    o.logical_size = bytes.size();
+    o.data = std::move(bytes);
+    return o;
+  }
+
+  /// Phantom-payload constructor (size-only).
+  static DataObject make_phantom(ObjectDescriptor d, std::size_t size) {
+    DataObject o;
+    o.desc = d;
+    o.logical_size = size;
+    o.phantom = true;
+    return o;
+  }
+};
+
+}  // namespace corec::staging

@@ -1,0 +1,53 @@
+#include "staging/object_store.hpp"
+
+namespace corec::staging {
+
+Status ObjectStore::put(DataObject object, StoredKind kind) {
+  std::size_t new_bytes = object.logical_size;
+  std::size_t replaced = 0;
+  auto it = entries_.find(object.desc);
+  if (it != entries_.end()) replaced = it->second.object.logical_size;
+  if (capacity_ != 0 &&
+      total_bytes_ - replaced + new_bytes > capacity_) {
+    return Status::ResourceExhausted("object store over capacity");
+  }
+  if (it != entries_.end()) {
+    total_bytes_ -= replaced;
+    kind_bytes_[static_cast<std::size_t>(it->second.kind)] -= replaced;
+    it->second = StoredObject{std::move(object), kind};
+  } else {
+    ObjectDescriptor key = object.desc;
+    entries_.emplace(key, StoredObject{std::move(object), kind});
+  }
+  total_bytes_ += new_bytes;
+  kind_bytes_[static_cast<std::size_t>(kind)] += new_bytes;
+  return Status::Ok();
+}
+
+const StoredObject* ObjectStore::find(const ObjectDescriptor& desc) const {
+  auto it = entries_.find(desc);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+bool ObjectStore::erase(const ObjectDescriptor& desc) {
+  auto it = entries_.find(desc);
+  if (it == entries_.end()) return false;
+  total_bytes_ -= it->second.object.logical_size;
+  kind_bytes_[static_cast<std::size_t>(it->second.kind)] -=
+      it->second.object.logical_size;
+  entries_.erase(it);
+  return true;
+}
+
+void ObjectStore::clear() {
+  entries_.clear();
+  total_bytes_ = 0;
+  for (auto& b : kind_bytes_) b = 0;
+}
+
+void ObjectStore::for_each(
+    const std::function<void(const StoredObject&)>& fn) const {
+  for (const auto& [desc, stored] : entries_) fn(stored);
+}
+
+}  // namespace corec::staging

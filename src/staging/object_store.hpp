@@ -1,0 +1,83 @@
+// Per-server in-memory object store: primary copies, replicas, and
+// erasure chunk shards, with byte accounting per role so the cluster can
+// report storage efficiency and enforce memory budgets.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <unordered_map>
+
+#include "common/status.hpp"
+#include "staging/object.hpp"
+
+namespace corec::staging {
+
+/// Role of a stored entry in the resilience scheme.
+enum class StoredKind : std::uint8_t {
+  kPrimary,   // the authoritative copy of a whole object
+  kReplica,   // an additional copy placed for fault tolerance
+  kDataChunk, // erasure-coded data shard
+  kParity,    // erasure-coded parity shard
+};
+
+inline const char* to_string(StoredKind k) {
+  switch (k) {
+    case StoredKind::kPrimary: return "primary";
+    case StoredKind::kReplica: return "replica";
+    case StoredKind::kDataChunk: return "data-chunk";
+    case StoredKind::kParity: return "parity";
+  }
+  return "?";
+}
+
+/// One stored entry.
+struct StoredObject {
+  DataObject object;
+  StoredKind kind = StoredKind::kPrimary;
+};
+
+/// Hash-keyed local store with per-kind byte accounting. Not
+/// thread-safe; the ThreadFabric wraps access with the server's lock.
+class ObjectStore {
+ public:
+  /// `capacity_bytes` of 0 means unlimited.
+  explicit ObjectStore(std::size_t capacity_bytes = 0)
+      : capacity_(capacity_bytes) {}
+
+  /// Inserts or overwrites. Fails with ResourceExhausted if the new
+  /// total would exceed capacity.
+  Status put(DataObject object, StoredKind kind);
+
+  /// Looks up the entry with exactly this descriptor.
+  const StoredObject* find(const ObjectDescriptor& desc) const;
+
+  /// Removes an entry; returns true if it was present.
+  bool erase(const ObjectDescriptor& desc);
+
+  /// Drops everything (server failure). Byte accounting resets.
+  void clear();
+
+  bool contains(const ObjectDescriptor& desc) const {
+    return find(desc) != nullptr;
+  }
+
+  std::size_t count() const { return entries_.size(); }
+  std::size_t total_bytes() const { return total_bytes_; }
+  std::size_t bytes_of(StoredKind kind) const {
+    return kind_bytes_[static_cast<std::size_t>(kind)];
+  }
+  std::size_t capacity() const { return capacity_; }
+
+  /// Iterates all entries (order unspecified).
+  void for_each(
+      const std::function<void(const StoredObject&)>& fn) const;
+
+ private:
+  std::size_t capacity_;
+  std::size_t total_bytes_ = 0;
+  std::size_t kind_bytes_[4] = {0, 0, 0, 0};
+  std::unordered_map<ObjectDescriptor, StoredObject, DescriptorHash>
+      entries_;
+};
+
+}  // namespace corec::staging

@@ -1,0 +1,50 @@
+// Request-level timing metrics. Every client operation returns its
+// virtual-time response plus a breakdown matching the categories of the
+// paper's Figure 9 (transport / metadata / encode / classify), with
+// queueing and decode tracked separately for the recovery figures.
+#pragma once
+
+#include <cstdint>
+
+#include "common/status.hpp"
+#include "common/types.hpp"
+
+namespace corec::staging {
+
+/// Per-operation cost attribution, in virtual nanoseconds. Categories
+/// sum work *charged by this operation*, not wall-span; response time
+/// (completed - issued) additionally includes queueing behind others.
+struct Breakdown {
+  SimTime transport = 0;  // link latency + serialization time
+  SimTime metadata = 0;   // directory lookups/updates
+  SimTime encode = 0;     // parity computation (RS encode)
+  SimTime decode = 0;     // degraded-read/rebuild reconstruction
+  SimTime classify = 0;   // hot/cold classification decisions
+  SimTime copy = 0;       // local memory copies / server overhead
+
+  SimTime total() const {
+    return transport + metadata + encode + decode + classify + copy;
+  }
+
+  Breakdown& operator+=(const Breakdown& o) {
+    transport += o.transport;
+    metadata += o.metadata;
+    encode += o.encode;
+    decode += o.decode;
+    classify += o.classify;
+    copy += o.copy;
+    return *this;
+  }
+};
+
+/// Outcome of one put/get.
+struct OpResult {
+  Status status;
+  SimTime issued = 0;     // virtual time the client issued the request
+  SimTime completed = 0;  // virtual time the client saw completion
+  Breakdown breakdown;
+
+  SimTime response_time() const { return completed - issued; }
+};
+
+}  // namespace corec::staging

@@ -1,0 +1,510 @@
+#include "staging/service.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "staging/hyperslab.hpp"
+
+namespace corec::staging {
+namespace {
+
+/// Builds the inverse permutation of a ring ordering.
+std::vector<std::size_t> invert_ring(const std::vector<ServerId>& ring) {
+  std::vector<std::size_t> pos(ring.size(), 0);
+  for (std::size_t i = 0; i < ring.size(); ++i) {
+    pos[ring[i]] = i;
+  }
+  return pos;
+}
+
+}  // namespace
+
+StagingService::StagingService(ServiceOptions options, sim::Simulation* sim,
+                               std::unique_ptr<ResilienceScheme> scheme)
+    : options_(std::move(options)),
+      sim_(sim),
+      scheme_(std::move(scheme)),
+      mapper_(options_.domain, options_.curve),
+      ring_(options_.topology.make_ring()),
+      ring_pos_(invert_ring(ring_)),
+      rng_(options_.seed, 0x9e3779b97f4a7c15ULL) {
+  servers_.reserve(options_.topology.num_servers());
+  for (std::size_t i = 0; i < options_.topology.num_servers(); ++i) {
+    servers_.emplace_back(options_.server_capacity);
+  }
+  sfc_key_span_ = std::uint64_t{1} << mapper_.key_bits();
+  scheme_->bind(this);
+}
+
+ServerId StagingService::ring_next(ServerId s, std::size_t steps) const {
+  std::size_t pos = (ring_pos_[s] + steps) % ring_.size();
+  return ring_[pos];
+}
+
+ServerId StagingService::route(const geom::BoundingBox& box) const {
+  sfc::SfcKey key = mapper_.key_of(box);
+  auto pos = static_cast<std::size_t>(
+      (static_cast<unsigned __int128>(key) * ring_.size()) >>
+      mapper_.key_bits());
+  pos = std::min(pos, ring_.size() - 1);
+  // Walk the ring past dead servers so writes stay routable during
+  // failures (DataSpaces reassigns the key range to a neighbour).
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    ServerId s = ring_[(pos + i) % ring_.size()];
+    if (servers_[s].alive) return s;
+  }
+  return ring_[pos];  // nobody alive; caller will fail the op
+}
+
+std::size_t StagingService::num_alive() const {
+  std::size_t n = 0;
+  for (const auto& s : servers_) {
+    if (s.alive) ++n;
+  }
+  return n;
+}
+
+const erasure::Codec& StagingService::codec(std::uint32_t k,
+                                            std::uint32_t m) {
+  std::uint64_t key = (static_cast<std::uint64_t>(k) << 32) | m;
+  auto it = codecs_.find(key);
+  if (it == codecs_.end()) {
+    auto codec_or = erasure::make_reed_solomon(k, m);
+    assert(codec_or.ok() && "invalid stripe geometry");
+    it = codecs_.emplace(key, std::move(codec_or).value()).first;
+  }
+  return *it->second;
+}
+
+OpResult StagingService::put(VarId var, Version version,
+                             const geom::BoundingBox& box, ByteSpan data) {
+  return put_impl(var, version, box, data, /*phantom=*/false);
+}
+
+OpResult StagingService::put_phantom(VarId var, Version version,
+                                     const geom::BoundingBox& box) {
+  return put_impl(var, version, box, {}, /*phantom=*/true);
+}
+
+OpResult StagingService::put_impl(VarId var, Version version,
+                                  const geom::BoundingBox& box,
+                                  ByteSpan data, bool phantom) {
+  OpResult result;
+  result.issued = sim_->now();
+  const SimTime t0 = result.issued;
+  const std::size_t elem = options_.fit.element_size;
+
+  if (!phantom && data.size() != box.volume() * elem) {
+    result.status = Status::InvalidArgument("payload/box size mismatch");
+    result.completed = t0;
+    return result;
+  }
+  if (num_alive() == 0) {
+    result.status = Status::Unavailable("no staging servers alive");
+    result.completed = t0;
+    return result;
+  }
+
+  // Algorithm 1: fit the object into target-size pieces.
+  auto pieces = geom::partition_and_fit(box, options_.fit);
+
+  SimTime completion = t0;
+  for (const auto& piece : pieces) {
+    ObjectDescriptor desc{var, version, piece.box, kWholeObject};
+    DataObject obj;
+    if (phantom) {
+      obj = DataObject::make_phantom(desc, piece.bytes);
+    } else {
+      auto payload = extract_region(data, box, piece.box, elem);
+      if (!payload.ok()) {
+        result.status = payload.status();
+        result.completed = completion;
+        return result;
+      }
+      obj = DataObject::real(desc, std::move(payload).value());
+    }
+
+    // Region-entity update semantics: a put over the same (var, box)
+    // replaces the previous version.
+    const ObjectDescriptor* prev_ptr = directory_.find_entity(var, piece.box);
+    ObjectDescriptor prev;
+    if (prev_ptr != nullptr) prev = *prev_ptr;
+
+    ServerId primary = route(piece.box);
+    if (options_.server_capacity != 0) {
+      const auto& store = servers_[primary].store;
+      if (store.total_bytes() + obj.logical_size > store.capacity()) {
+        result.status = Status::ResourceExhausted(
+            "staging server " + std::to_string(primary) +
+            " memory budget exceeded");
+        result.completed = completion;
+        return result;
+      }
+    }
+    result.breakdown.metadata += options_.cost.metadata_op;
+
+    SimTime xfer = options_.cost.transfer_time(obj.logical_size);
+    result.breakdown.transport += xfer;
+    SimTime arrival = t0 + options_.cost.metadata_op + xfer;
+
+    SimTime service_time = options_.cost.request_overhead +
+                           options_.cost.copy_time(obj.logical_size);
+    result.breakdown.copy += service_time;
+    SimTime arrived = serve_at(primary, arrival, service_time);
+
+    SimTime durable = scheme_->protect(
+        obj, primary, prev_ptr != nullptr ? &prev : nullptr, arrived,
+        &result.breakdown);
+    completion = std::max(completion, durable);
+  }
+
+  result.completed = completion;
+  result.status = Status::Ok();
+  return result;
+}
+
+OpResult StagingService::get(VarId var, Version version,
+                             const geom::BoundingBox& box, Bytes* out) {
+  OpResult result;
+  result.issued = sim_->now();
+  const SimTime t0 = result.issued;
+  const std::size_t elem = options_.fit.element_size;
+
+  result.breakdown.metadata += options_.cost.metadata_op;
+  auto descs = directory_.query_latest(var, version, box);
+  if (descs.empty()) {
+    result.status = Status::NotFound("no staged data intersects region");
+    result.completed = t0 + options_.cost.metadata_op;
+    return result;
+  }
+
+  if (out != nullptr) {
+    out->assign(static_cast<std::size_t>(box.volume()) * elem, 0);
+  }
+
+  SimTime start = t0 + options_.cost.metadata_op;
+  SimTime completion = start;
+  std::size_t assembled_bytes = 0;
+  // Fetch all pieces (virtually in parallel), then assemble oldest
+  // version first so that where coverage overlaps, the newest write
+  // lands last and wins.
+  std::vector<Bytes> pieces(out != nullptr ? descs.size() : 0);
+  for (std::size_t i = 0; i < descs.size(); ++i) {
+    Bytes* piece_out = out != nullptr ? &pieces[i] : nullptr;
+    auto done =
+        read_piece(descs[i], box, start, piece_out, &result.breakdown);
+    if (!done.ok()) {
+      result.status = done.status();
+      result.completed = std::max(completion, start);
+      return result;
+    }
+    completion = std::max(completion, done.value());
+  }
+  for (std::size_t ri = descs.size(); ri-- > 0;) {
+    const auto& desc = descs[ri];
+    geom::BoundingBox overlap;
+    if (!desc.box.intersect(box, &overlap)) continue;
+    assembled_bytes +=
+        static_cast<std::size_t>(overlap.volume()) * elem;
+    if (out != nullptr && !pieces[ri].empty()) {
+      Status st = copy_region(pieces[ri], desc.box, MutableByteSpan(*out),
+                              box, overlap, elem);
+      if (!st.ok()) {
+        result.status = st;
+        result.completed = completion;
+        return result;
+      }
+    }
+  }
+
+  // Client-side assembly of the pieces into the caller's buffer.
+  SimTime assemble = options_.cost.copy_time(assembled_bytes);
+  result.breakdown.copy += assemble;
+  result.completed = completion + assemble;
+  result.status = Status::Ok();
+  return result;
+}
+
+StatusOr<SimTime> StagingService::read_piece(const ObjectDescriptor& desc,
+                                             const geom::BoundingBox& requested,
+                                             SimTime start,
+                                             Bytes* piece_out,
+                                             Breakdown* bd) {
+  scheme_->on_access(desc, start);
+  const ObjectLocation* loc = directory_.find(desc);
+  if (loc == nullptr) {
+    return Status::NotFound("object missing from directory: " +
+                            desc.to_string());
+  }
+
+  // Only the requested part of the piece moves over the wire (the
+  // server extracts the hyperslab), so costs scale with the overlap.
+  double fraction = 1.0;
+  geom::BoundingBox overlap;
+  if (desc.box.intersect(requested, &overlap)) {
+    fraction = static_cast<double>(overlap.volume()) /
+               static_cast<double>(desc.box.volume());
+  }
+  auto scaled = [fraction](std::size_t bytes) {
+    return static_cast<std::size_t>(static_cast<double>(bytes) *
+                                    fraction);
+  };
+
+  if (loc->protection != Protection::kEncoded) {
+    // Whole copies: primary plus replicas; pick the least-loaded live
+    // holder (replication's concurrent-read bandwidth advantage).
+    std::vector<ServerId> holders;
+    holders.push_back(loc->primary);
+    holders.insert(holders.end(), loc->replicas.begin(),
+                   loc->replicas.end());
+    ServerId best = kInvalidServer;
+    SimTime best_backlog = 0;
+    for (ServerId h : holders) {
+      if (h == kInvalidServer || !servers_[h].alive) continue;
+      if (!servers_[h].store.contains(desc)) continue;
+      SimTime backlog = servers_[h].queue.backlog(start);
+      if (best == kInvalidServer || backlog < best_backlog) {
+        best = h;
+        best_backlog = backlog;
+      }
+    }
+    if (best == kInvalidServer) {
+      return Status::DataLoss("all copies lost: " + desc.to_string());
+    }
+    const StoredObject* stored = servers_[best].store.find(desc);
+    SimTime service = options_.cost.request_overhead +
+                      options_.cost.copy_time(scaled(loc->logical_size));
+    bd->copy += service;
+    SimTime t1 = serve_at(best, start + options_.cost.link_latency,
+                          service);
+    SimTime xfer = options_.cost.transfer_time(scaled(loc->logical_size));
+    bd->transport += options_.cost.link_latency + xfer;
+    if (piece_out != nullptr) {
+      if (stored->object.phantom) {
+        piece_out->clear();
+      } else {
+        *piece_out = stored->object.data;
+      }
+    }
+    return t1 + xfer;
+  }
+
+  // Encoded object: fetch the k data chunks in parallel.
+  const std::uint32_t k = loc->k;
+  bool all_data_present = true;
+  for (std::uint32_t i = 0; i < k; ++i) {
+    ServerId s = loc->stripe_servers[i];
+    if (!servers_[s].alive ||
+        !servers_[s].store.contains(desc.shard_of(
+            static_cast<ShardIndex>(1 + i)))) {
+      all_data_present = false;
+      break;
+    }
+  }
+  if (!all_data_present) {
+    return read_degraded(desc, *loc, fraction, start, piece_out, bd);
+  }
+
+  SimTime done = start;
+  Bytes assembled;
+  if (piece_out != nullptr) {
+    assembled.resize(static_cast<std::size_t>(loc->chunk_size) * k);
+  }
+  bool phantom = false;
+  for (std::uint32_t i = 0; i < k; ++i) {
+    ServerId s = loc->stripe_servers[i];
+    auto shard_desc = desc.shard_of(static_cast<ShardIndex>(1 + i));
+    const StoredObject* stored = servers_[s].store.find(shard_desc);
+    SimTime service = options_.cost.request_overhead +
+                      options_.cost.copy_time(scaled(loc->chunk_size));
+    bd->copy += service;
+    SimTime t1 = serve_at(s, start + options_.cost.link_latency, service);
+    SimTime xfer = options_.cost.transfer_time(scaled(loc->chunk_size));
+    bd->transport += options_.cost.link_latency + xfer;
+    done = std::max(done, t1 + xfer);
+    if (piece_out != nullptr) {
+      if (stored->object.phantom) {
+        phantom = true;
+      } else {
+        std::copy(stored->object.data.begin(), stored->object.data.end(),
+                  assembled.begin() + static_cast<std::ptrdiff_t>(
+                                          i * loc->chunk_size));
+      }
+    }
+  }
+  if (piece_out != nullptr) {
+    if (phantom) {
+      piece_out->clear();
+    } else {
+      assembled.resize(loc->logical_size);
+      *piece_out = std::move(assembled);
+    }
+  }
+  return done;
+}
+
+StatusOr<SimTime> StagingService::read_degraded(
+    const ObjectDescriptor& desc, const ObjectLocation& loc,
+    double fraction, SimTime start, Bytes* piece_out, Breakdown* bd) {
+  const std::uint32_t k = loc.k;
+  const std::uint32_t n = loc.k + loc.m;
+  auto scaled = [fraction](std::size_t bytes) {
+    return static_cast<std::size_t>(static_cast<double>(bytes) *
+                                    fraction);
+  };
+
+  // Which stripe shards survive?
+  std::vector<std::uint32_t> survivors;
+  std::vector<std::size_t> erased;  // codec block indices
+  for (std::uint32_t i = 0; i < n; ++i) {
+    ServerId s = loc.stripe_servers[i];
+    auto shard_desc = desc.shard_of(static_cast<ShardIndex>(1 + i));
+    if (servers_[s].alive && servers_[s].store.contains(shard_desc)) {
+      survivors.push_back(i);
+    } else {
+      erased.push_back(i);
+    }
+  }
+  if (survivors.size() < k) {
+    return Status::DataLoss("stripe unrecoverable: " + desc.to_string());
+  }
+
+  // Prefer data shards among the k sources (cheaper decode), then
+  // parity shards as needed.
+  std::vector<std::uint32_t> sources;
+  for (std::uint32_t i : survivors) {
+    if (sources.size() < k) sources.push_back(i);
+  }
+
+  // Coordinator: the least-loaded source server reconstructs the
+  // missing data chunks (degraded-mode read, Section III-D).
+  ServerId coord = loc.stripe_servers[sources[0]];
+  for (std::uint32_t i : sources) {
+    ServerId s = loc.stripe_servers[i];
+    if (servers_[s].queue.backlog(start) <
+        servers_[coord].queue.backlog(start)) {
+      coord = s;
+    }
+  }
+
+  // Gather the k source chunks at the coordinator.
+  SimTime gathered = start;
+  for (std::uint32_t i : sources) {
+    ServerId s = loc.stripe_servers[i];
+    SimTime service = options_.cost.request_overhead +
+                      options_.cost.copy_time(loc.chunk_size);
+    bd->copy += service;
+    SimTime t1 = serve_at(s, start + options_.cost.link_latency, service);
+    if (s != coord) {
+      SimTime xfer = options_.cost.transfer_time(loc.chunk_size);
+      bd->transport += options_.cost.link_latency + xfer;
+      t1 += xfer;
+    }
+    gathered = std::max(gathered, t1);
+  }
+
+  // Decode only the erased *data* chunks (requested data path).
+  std::size_t erased_data = 0;
+  for (std::size_t e : erased) {
+    if (e < k) ++erased_data;
+  }
+  // Only the requested rows are reconstructed (degraded mode rebuilds
+  // what the client asked for and discards it, Section III-D).
+  SimTime decode_service = options_.cost.decode_time(
+      k, std::max<std::size_t>(erased_data, 1), scaled(loc.chunk_size));
+  bd->decode += decode_service;
+  SimTime t_dec = serve_at(coord, gathered, decode_service);
+
+  // Real reconstruction when payloads are real.
+  if (piece_out != nullptr) {
+    bool phantom = false;
+    std::vector<Bytes> blocks(n, Bytes(loc.chunk_size, 0));
+    for (std::uint32_t i : survivors) {
+      ServerId s = loc.stripe_servers[i];
+      const StoredObject* stored = servers_[s].store.find(
+          desc.shard_of(static_cast<ShardIndex>(1 + i)));
+      if (stored->object.phantom) {
+        phantom = true;
+        break;
+      }
+      blocks[i] = stored->object.data;
+      blocks[i].resize(loc.chunk_size, 0);
+    }
+    if (phantom) {
+      piece_out->clear();
+    } else {
+      const auto& rs = codec(loc.k, loc.m);
+      std::vector<MutableByteSpan> spans;
+      spans.reserve(n);
+      for (auto& b : blocks) spans.emplace_back(b);
+      COREC_RETURN_IF_ERROR(rs.decode(spans, erased));
+      Bytes assembled;
+      assembled.reserve(static_cast<std::size_t>(loc.chunk_size) * k);
+      for (std::uint32_t i = 0; i < k; ++i) {
+        assembled.insert(assembled.end(), blocks[i].begin(),
+                         blocks[i].end());
+      }
+      assembled.resize(loc.logical_size);
+      *piece_out = std::move(assembled);
+    }
+  }
+
+  // Ship the reconstructed payload to the client and discard it
+  // (degraded mode does not re-install the chunks).
+  SimTime xfer = options_.cost.transfer_time(scaled(loc.logical_size));
+  bd->transport += xfer;
+  return t_dec + xfer;
+}
+
+void StagingService::end_time_step(Version step) {
+  scheme_->end_of_step(step, sim_->now());
+}
+
+void StagingService::kill_server(ServerId s) {
+  assert(s < servers_.size());
+  if (!servers_[s].alive) return;
+  servers_[s].alive = false;
+  stored_total_ -= servers_[s].store.total_bytes();
+  servers_[s].store.clear();
+  servers_[s].queue.reset(sim_->now());
+  ++servers_[s].failures;
+  scheme_->on_server_failed(s, sim_->now());
+}
+
+void StagingService::replace_server(ServerId s) {
+  assert(s < servers_.size());
+  if (servers_[s].alive) return;
+  servers_[s].alive = true;
+  servers_[s].queue.reset(sim_->now());
+  scheme_->on_server_replaced(s, sim_->now());
+}
+
+std::size_t StagingService::logical_bytes() const {
+  std::size_t total = 0;
+  directory_.for_each(
+      [&total](const ObjectDescriptor&, const ObjectLocation& loc) {
+        total += loc.logical_size;
+      });
+  return total;
+}
+
+std::size_t StagingService::stored_bytes() const {
+  // Maintained incrementally by store_at/remove_at/kill_server; the
+  // invariant against the per-store sums is checked in tests.
+  return stored_total_;
+}
+
+std::size_t StagingService::stored_bytes_recomputed() const {
+  std::size_t total = 0;
+  for (const auto& s : servers_) total += s.store.total_bytes();
+  return total;
+}
+
+double StagingService::storage_efficiency() const {
+  std::size_t stored = stored_bytes();
+  if (stored == 0) return 1.0;
+  return static_cast<double>(logical_bytes()) /
+         static_cast<double>(stored);
+}
+
+}  // namespace corec::staging

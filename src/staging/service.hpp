@@ -1,0 +1,193 @@
+// StagingService — the in-memory staging cluster (DataSpaces substitute).
+// Hosts N staging servers with per-server object stores and service
+// queues on a simulated interconnect, routes n-D object pieces to
+// servers along a space-filling curve, executes put/get in virtual time,
+// and delegates durability policy to a pluggable ResilienceScheme.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/status.hpp"
+#include "erasure/codec.hpp"
+#include "geom/partition.hpp"
+#include "net/cost_model.hpp"
+#include "net/queueing.hpp"
+#include "net/topology.hpp"
+#include "sfc/sfc.hpp"
+#include "sim/simulation.hpp"
+#include "staging/directory.hpp"
+#include "staging/object_store.hpp"
+#include "staging/request.hpp"
+#include "staging/scheme.hpp"
+
+namespace corec::staging {
+
+/// Construction-time configuration of a staging cluster.
+struct ServiceOptions {
+  /// Physical organization of the staging servers.
+  net::Topology topology = net::Topology::flat(8, 4);
+  /// Interconnect / CPU / PFS cost model.
+  net::CostModel cost;
+  /// Global n-D domain staged variables live in (required).
+  geom::BoundingBox domain = geom::BoundingBox::cube(0, 0, 0, 255, 255, 255);
+  /// Space-filling curve used for object->server routing.
+  sfc::CurveKind curve = sfc::CurveKind::kHilbert;
+  /// Algorithm 1 fitting knobs (element size, target object size).
+  geom::FitOptions fit;
+  /// Per-server memory capacity in bytes (0 = unlimited).
+  std::size_t server_capacity = 0;
+  /// Seed for all stochastic choices inside the service.
+  std::uint64_t seed = 42;
+};
+
+/// One staging server: its store, its service queue and liveness.
+struct ServerState {
+  explicit ServerState(std::size_t capacity) : store(capacity) {}
+  ObjectStore store;
+  net::ServiceQueue queue;
+  bool alive = true;
+  std::uint32_t failures = 0;  // times this identity has failed
+};
+
+/// The staging cluster. All operations advance virtual time through the
+/// bound Simulation; none of them block real threads.
+class StagingService {
+ public:
+  StagingService(ServiceOptions options, sim::Simulation* sim,
+                 std::unique_ptr<ResilienceScheme> scheme);
+
+  // ---- client API -------------------------------------------------------
+
+  /// Writes `data` (row-major over `box`, fit.element_size bytes per
+  /// point). The object is partitioned per Algorithm 1; each piece is
+  /// routed to its primary server and protected by the scheme. Returns
+  /// when all pieces are durable.
+  OpResult put(VarId var, Version version, const geom::BoundingBox& box,
+               ByteSpan data);
+
+  /// Same write path with a phantom payload of box.volume()*element
+  /// bytes — used by paper-scale benches.
+  OpResult put_phantom(VarId var, Version version,
+                       const geom::BoundingBox& box);
+
+  /// Reads the region `box` of `var` at the newest version <= `version`
+  /// into `out` (may be nullptr for phantom workloads; resized to the
+  /// region size otherwise).
+  OpResult get(VarId var, Version version, const geom::BoundingBox& box,
+               Bytes* out);
+
+  /// Signals the end of a time step (classification sweeps etc.).
+  void end_time_step(Version step);
+
+  // ---- failure control ----------------------------------------------------
+
+  /// Kills a server: store dropped, queue reset, reads fail over.
+  void kill_server(ServerId s);
+
+  /// Brings an empty replacement online under the same identity.
+  void replace_server(ServerId s);
+
+  bool alive(ServerId s) const { return servers_[s].alive; }
+  std::size_t num_alive() const;
+
+  // ---- scheme-facing primitives ------------------------------------------
+
+  sim::Simulation& sim() { return *sim_; }
+  const net::CostModel& cost() const { return options_.cost; }
+  const net::Topology& topology() const { return options_.topology; }
+  const ServiceOptions& options() const { return options_; }
+  Directory& directory() { return directory_; }
+  const Directory& directory() const { return directory_; }
+  Rng& rng() { return rng_; }
+  ResilienceScheme& scheme() { return *scheme_; }
+
+  std::size_t num_servers() const { return servers_.size(); }
+  ServerState& server(ServerId s) { return servers_[s]; }
+  const ServerState& server(ServerId s) const { return servers_[s]; }
+
+  /// Logical ring (position -> physical id) and its inverse.
+  const std::vector<ServerId>& ring() const { return ring_; }
+  std::size_t ring_position(ServerId s) const { return ring_pos_[s]; }
+
+  /// The ring successor `steps` ahead of `s`.
+  ServerId ring_next(ServerId s, std::size_t steps = 1) const;
+
+  /// Primary server for an object region (SFC routing; skips dead
+  /// servers by walking the ring).
+  ServerId route(const geom::BoundingBox& box) const;
+
+  /// Charges `service_time` of work on server `s` starting no earlier
+  /// than `arrival`; returns completion time.
+  SimTime serve_at(ServerId s, SimTime arrival, SimTime service) {
+    return servers_[s].queue.serve(arrival, service);
+  }
+
+  /// Stores an object representation on a server (scheme primitive).
+  Status store_at(ServerId s, DataObject obj, StoredKind kind) {
+    std::size_t before = servers_[s].store.total_bytes();
+    Status st = servers_[s].store.put(std::move(obj), kind);
+    stored_total_ += servers_[s].store.total_bytes() - before;
+    return st;
+  }
+
+  /// Removes an entry from a server store.
+  void remove_at(ServerId s, const ObjectDescriptor& desc) {
+    std::size_t before = servers_[s].store.total_bytes();
+    servers_[s].store.erase(desc);
+    stored_total_ -= before - servers_[s].store.total_bytes();
+  }
+
+  /// Cached Reed-Solomon codec for stripe geometry (k, m).
+  const erasure::Codec& codec(std::uint32_t k, std::uint32_t m);
+
+  // ---- storage accounting --------------------------------------------------
+
+  /// Sum of true payload bytes of all registered whole objects.
+  std::size_t logical_bytes() const;
+  /// Sum of bytes resident in all server stores (O(1), incremental).
+  std::size_t stored_bytes() const;
+  /// Same sum recomputed from the stores (O(servers); invariant check).
+  std::size_t stored_bytes_recomputed() const;
+  /// logical / stored (1.0 = no overhead; paper's storage efficiency).
+  double storage_efficiency() const;
+
+ private:
+  // One fitted piece read. Only the part of the piece inside
+  // `requested` is shipped (and, in degraded mode, reconstructed);
+  // `fraction` of the piece's bytes is charged. Returns completion
+  // time; assembles the piece's real bytes into `out` when non-null.
+  StatusOr<SimTime> read_piece(const ObjectDescriptor& desc,
+                               const geom::BoundingBox& requested,
+                               SimTime start, Bytes* piece_out,
+                               Breakdown* bd);
+
+  // Degraded read of an encoded object with missing chunks.
+  StatusOr<SimTime> read_degraded(const ObjectDescriptor& desc,
+                                  const ObjectLocation& loc,
+                                  double fraction, SimTime start,
+                                  Bytes* piece_out, Breakdown* bd);
+
+  // Common body of put / put_phantom.
+  OpResult put_impl(VarId var, Version version,
+                    const geom::BoundingBox& box, ByteSpan data,
+                    bool phantom);
+
+  ServiceOptions options_;
+  sim::Simulation* sim_;
+  std::unique_ptr<ResilienceScheme> scheme_;
+  sfc::SfcMapper mapper_;
+  Directory directory_;
+  std::vector<ServerState> servers_;
+  std::vector<ServerId> ring_;
+  std::vector<std::size_t> ring_pos_;
+  Rng rng_;
+  std::size_t stored_total_ = 0;  // incremental sum of store bytes
+  std::uint64_t sfc_key_span_;    // max SFC key + 1, for range routing
+  std::unordered_map<std::uint64_t, std::unique_ptr<erasure::Codec>>
+      codecs_;
+};
+
+}  // namespace corec::staging

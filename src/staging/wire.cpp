@@ -1,0 +1,129 @@
+#include "staging/wire.hpp"
+
+namespace corec::staging {
+namespace {
+
+// Snapshot format versioning: bump when the record layout changes.
+constexpr std::uint32_t kSnapshotMagic = 0xC0DEC001;
+
+}  // namespace
+
+void encode_box(const geom::BoundingBox& box, BufferWriter* w) {
+  w->put<std::uint8_t>(static_cast<std::uint8_t>(box.dims()));
+  for (std::size_t d = 0; d < box.dims(); ++d) {
+    w->put<std::int64_t>(box.lo()[d]);
+    w->put<std::int64_t>(box.hi()[d]);
+  }
+}
+
+StatusOr<geom::BoundingBox> decode_box(BufferReader* r) {
+  std::uint8_t dims = 0;
+  COREC_RETURN_IF_ERROR(r->get(&dims));
+  if (dims > geom::kMaxDims) {
+    return Status::InvalidArgument("box dims out of range");
+  }
+  geom::Point lo, hi;
+  lo.dims = hi.dims = dims;
+  for (std::size_t d = 0; d < dims; ++d) {
+    std::int64_t a = 0, b = 0;
+    COREC_RETURN_IF_ERROR(r->get(&a));
+    COREC_RETURN_IF_ERROR(r->get(&b));
+    if (a > b) return Status::InvalidArgument("box corners inverted");
+    lo[d] = a;
+    hi[d] = b;
+  }
+  return geom::BoundingBox(lo, hi);
+}
+
+void encode_descriptor(const ObjectDescriptor& desc, BufferWriter* w) {
+  w->put<VarId>(desc.var);
+  w->put<Version>(desc.version);
+  w->put<ShardIndex>(desc.shard);
+  encode_box(desc.box, w);
+}
+
+StatusOr<ObjectDescriptor> decode_descriptor(BufferReader* r) {
+  ObjectDescriptor desc;
+  COREC_RETURN_IF_ERROR(r->get(&desc.var));
+  COREC_RETURN_IF_ERROR(r->get(&desc.version));
+  COREC_RETURN_IF_ERROR(r->get(&desc.shard));
+  COREC_ASSIGN_OR_RETURN(desc.box, decode_box(r));
+  return desc;
+}
+
+void encode_location(const ObjectLocation& loc, BufferWriter* w) {
+  w->put<ServerId>(loc.primary);
+  w->put<std::uint8_t>(static_cast<std::uint8_t>(loc.protection));
+  w->put<std::uint32_t>(static_cast<std::uint32_t>(loc.replicas.size()));
+  for (ServerId s : loc.replicas) w->put<ServerId>(s);
+  w->put<std::uint32_t>(
+      static_cast<std::uint32_t>(loc.stripe_servers.size()));
+  for (ServerId s : loc.stripe_servers) w->put<ServerId>(s);
+  w->put<std::uint32_t>(loc.k);
+  w->put<std::uint32_t>(loc.m);
+  w->put<std::uint64_t>(loc.chunk_size);
+  w->put<std::uint64_t>(loc.logical_size);
+}
+
+StatusOr<ObjectLocation> decode_location(BufferReader* r) {
+  ObjectLocation loc;
+  COREC_RETURN_IF_ERROR(r->get(&loc.primary));
+  std::uint8_t protection = 0;
+  COREC_RETURN_IF_ERROR(r->get(&protection));
+  if (protection > static_cast<std::uint8_t>(Protection::kEncoded)) {
+    return Status::InvalidArgument("bad protection tag");
+  }
+  loc.protection = static_cast<Protection>(protection);
+  std::uint32_t n = 0;
+  COREC_RETURN_IF_ERROR(r->get(&n));
+  if (n > 1u << 20) return Status::InvalidArgument("replica count");
+  loc.replicas.resize(n);
+  for (auto& s : loc.replicas) COREC_RETURN_IF_ERROR(r->get(&s));
+  COREC_RETURN_IF_ERROR(r->get(&n));
+  if (n > 1u << 20) return Status::InvalidArgument("stripe width");
+  loc.stripe_servers.resize(n);
+  for (auto& s : loc.stripe_servers) COREC_RETURN_IF_ERROR(r->get(&s));
+  COREC_RETURN_IF_ERROR(r->get(&loc.k));
+  COREC_RETURN_IF_ERROR(r->get(&loc.m));
+  std::uint64_t chunk = 0, logical = 0;
+  COREC_RETURN_IF_ERROR(r->get(&chunk));
+  COREC_RETURN_IF_ERROR(r->get(&logical));
+  loc.chunk_size = chunk;
+  loc.logical_size = logical;
+  return loc;
+}
+
+Bytes snapshot_directory(const Directory& dir) {
+  Bytes out;
+  BufferWriter w(&out);
+  w.put<std::uint32_t>(kSnapshotMagic);
+  w.put<std::uint64_t>(dir.size());
+  dir.for_each([&w](const ObjectDescriptor& desc,
+                    const ObjectLocation& loc) {
+    encode_descriptor(desc, &w);
+    encode_location(loc, &w);
+  });
+  return out;
+}
+
+Status restore_directory(ByteSpan snapshot, Directory* dir) {
+  BufferReader r(snapshot);
+  std::uint32_t magic = 0;
+  COREC_RETURN_IF_ERROR(r.get(&magic));
+  if (magic != kSnapshotMagic) {
+    return Status::InvalidArgument("not a directory snapshot");
+  }
+  std::uint64_t count = 0;
+  COREC_RETURN_IF_ERROR(r.get(&count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    COREC_ASSIGN_OR_RETURN(ObjectDescriptor desc, decode_descriptor(&r));
+    COREC_ASSIGN_OR_RETURN(ObjectLocation loc, decode_location(&r));
+    dir->upsert(desc, std::move(loc));
+  }
+  if (r.remaining() != 0) {
+    return Status::InvalidArgument("trailing bytes in snapshot");
+  }
+  return Status::Ok();
+}
+
+}  // namespace corec::staging

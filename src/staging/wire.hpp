@@ -1,0 +1,33 @@
+// Wire/persistence serialization for staging metadata: descriptors,
+// locations, and whole directory snapshots. Used to checkpoint the
+// metadata service alongside data (the restart path needs both) and to
+// ship directory state to replacement metadata servers.
+#pragma once
+
+#include "common/buffer.hpp"
+#include "common/status.hpp"
+#include "staging/directory.hpp"
+#include "staging/object.hpp"
+
+namespace corec::staging {
+
+/// Appends `box` to `w` (dimension count + corner coordinates).
+void encode_box(const geom::BoundingBox& box, BufferWriter* w);
+/// Decodes a box previously written by encode_box.
+StatusOr<geom::BoundingBox> decode_box(BufferReader* r);
+
+/// Appends a descriptor (var, version, shard, box).
+void encode_descriptor(const ObjectDescriptor& desc, BufferWriter* w);
+StatusOr<ObjectDescriptor> decode_descriptor(BufferReader* r);
+
+/// Appends a full placement record.
+void encode_location(const ObjectLocation& loc, BufferWriter* w);
+StatusOr<ObjectLocation> decode_location(BufferReader* r);
+
+/// Serializes every (descriptor, location) pair of a directory.
+Bytes snapshot_directory(const Directory& dir);
+
+/// Rebuilds a directory from a snapshot (into an empty directory).
+Status restore_directory(ByteSpan snapshot, Directory* dir);
+
+}  // namespace corec::staging

@@ -1,0 +1,179 @@
+#include "tier/tiered_store.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace corec::tier {
+
+TierSpec memory_tier(std::size_t capacity) {
+  return {Tier::kMemory, capacity, from_micros(0.2), 6.0e9};
+}
+
+TierSpec nvram_tier(std::size_t capacity) {
+  return {Tier::kNvram, capacity, from_micros(2.0), 2.0e9};
+}
+
+TierSpec ssd_tier(std::size_t capacity) {
+  return {Tier::kSsd, capacity, from_micros(80.0), 0.5e9};
+}
+
+TieredStore::TieredStore(std::vector<TierSpec> tiers, double heat_decay)
+    : tiers_(std::move(tiers)),
+      heat_decay_(heat_decay),
+      used_(tiers_.size(), 0),
+      stats_(tiers_.size()) {
+  assert(!tiers_.empty());
+  for (std::size_t i = 1; i < tiers_.size(); ++i) {
+    assert(tiers_[i - 1].tier < tiers_[i].tier &&
+           "tiers must be ordered fastest-first");
+  }
+}
+
+bool TieredStore::make_room(std::size_t idx, std::size_t bytes,
+                            double incoming_utility) {
+  if (bytes > tiers_[idx].capacity_bytes) return false;
+  while (used_[idx] + bytes > tiers_[idx].capacity_bytes) {
+    // Find the lowest-utility resident of this tier; never evict a
+    // resident hotter than the incoming object.
+    const staging::ObjectDescriptor* victim = nullptr;
+    double victim_utility = incoming_utility;
+    for (const auto& [desc, r] : objects_) {
+      if (r.tier_index != idx) continue;
+      double u = utility(r);
+      if (u < victim_utility) {
+        victim_utility = u;
+        victim = &desc;
+      }
+    }
+    if (victim == nullptr) return false;  // everything here is hotter
+    if (idx + 1 >= tiers_.size()) return false;  // no lower tier
+    Resident& r = objects_[*victim];
+    if (!make_room(idx + 1, r.bytes, victim_utility)) return false;
+    staging::ObjectDescriptor desc = *victim;
+    move(desc, &objects_[desc], idx + 1);
+    ++stats_[idx + 1].spills_in;
+  }
+  return true;
+}
+
+void TieredStore::move(const staging::ObjectDescriptor& desc, Resident* r,
+                       std::size_t to_index) {
+  (void)desc;
+  used_[r->tier_index] -= r->bytes;
+  stats_[r->tier_index].resident_bytes -= r->bytes;
+  --stats_[r->tier_index].resident_objects;
+  r->tier_index = to_index;
+  used_[to_index] += r->bytes;
+  stats_[to_index].resident_bytes += r->bytes;
+  ++stats_[to_index].resident_objects;
+}
+
+Status TieredStore::put(const staging::ObjectDescriptor& desc,
+                        std::size_t bytes, double heat) {
+  auto it = objects_.find(desc);
+  if (it != objects_.end()) {
+    // Refresh in place (same tier) when the size still fits; otherwise
+    // treat as erase + insert.
+    if (it->second.bytes == bytes) {
+      it->second.heat = std::max(it->second.heat, heat);
+      return Status::Ok();
+    }
+    erase(desc);
+  }
+  double incoming =
+      heat / static_cast<double>(bytes == 0 ? 1 : bytes);
+  if (!make_room(0, bytes, incoming)) {
+    // The fastest tier cannot absorb it without evicting hotter data:
+    // place into the first lower tier that can take it.
+    std::size_t idx = 1;
+    for (; idx < tiers_.size(); ++idx) {
+      if (make_room(idx, bytes, incoming)) break;
+    }
+    if (idx == tiers_.size()) {
+      return Status::ResourceExhausted("all tiers full");
+    }
+    Resident r{bytes, heat, idx};
+    used_[idx] += bytes;
+    stats_[idx].resident_bytes += bytes;
+    ++stats_[idx].resident_objects;
+    objects_.emplace(desc, r);
+    return Status::Ok();
+  }
+  Resident r{bytes, heat, 0};
+  used_[0] += bytes;
+  stats_[0].resident_bytes += bytes;
+  ++stats_[0].resident_objects;
+  objects_.emplace(desc, r);
+  return Status::Ok();
+}
+
+StatusOr<SimTime> TieredStore::access(
+    const staging::ObjectDescriptor& desc) {
+  auto it = objects_.find(desc);
+  if (it == objects_.end()) {
+    return Status::NotFound("not resident: " + desc.to_string());
+  }
+  Resident& r = it->second;
+  std::size_t idx = r.tier_index;
+  SimTime cost = tiers_[idx].access_time(r.bytes);
+  ++stats_[idx].hits;
+  r.heat += 1.0;
+
+  // Promotion-on-access: if it now beats the coldest resident of the
+  // tier above, swap up.
+  if (idx > 0) {
+    const staging::ObjectDescriptor* coldest = nullptr;
+    double coldest_utility = std::numeric_limits<double>::max();
+    for (const auto& [odesc, o] : objects_) {
+      if (o.tier_index != idx - 1) continue;
+      double u = utility(o);
+      if (u < coldest_utility) {
+        coldest_utility = u;
+        coldest = &odesc;
+      }
+    }
+    bool has_room =
+        used_[idx - 1] + r.bytes <= tiers_[idx - 1].capacity_bytes;
+    if (has_room ||
+        (coldest != nullptr && utility(r) > coldest_utility)) {
+      if (!has_room && coldest != nullptr) {
+        // Swap: coldest goes down to this tier.
+        staging::ObjectDescriptor cd = *coldest;
+        move(cd, &objects_[cd], idx);
+        ++stats_[idx].spills_in;
+      }
+      if (used_[idx - 1] + r.bytes <= tiers_[idx - 1].capacity_bytes) {
+        move(desc, &r, idx - 1);
+        ++stats_[idx - 1].promotions;
+      }
+    }
+  }
+  return cost;
+}
+
+bool TieredStore::erase(const staging::ObjectDescriptor& desc) {
+  auto it = objects_.find(desc);
+  if (it == objects_.end()) return false;
+  Resident& r = it->second;
+  used_[r.tier_index] -= r.bytes;
+  stats_[r.tier_index].resident_bytes -= r.bytes;
+  --stats_[r.tier_index].resident_objects;
+  objects_.erase(it);
+  return true;
+}
+
+void TieredStore::end_of_step() {
+  for (auto& [desc, r] : objects_) r.heat *= heat_decay_;
+}
+
+StatusOr<Tier> TieredStore::tier_of(
+    const staging::ObjectDescriptor& desc) const {
+  auto it = objects_.find(desc);
+  if (it == objects_.end()) {
+    return Status::NotFound("not resident: " + desc.to_string());
+  }
+  return tiers_[it->second.tier_index].tier;
+}
+
+}  // namespace corec::tier

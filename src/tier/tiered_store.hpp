@@ -1,0 +1,133 @@
+// Multi-tier staging store — the paper's stated future work ("expand
+// CoREC to support multiple storage layers, for example, using NVRAM
+// and SSD, and designing new models for data resilience that
+// incorporate utility-based data placement across these layers").
+//
+// A TieredStore holds object payload descriptors across an ordered set
+// of tiers (memory -> NVRAM -> SSD), each with its own capacity and
+// access-cost model. Placement is utility-based: utility = heat /
+// byte-cost; when a tier overflows, the lowest-utility residents spill
+// to the next tier; accesses re-heat objects and can promote them back.
+// This prototype tracks placement and charges virtual access costs; it
+// composes with the CoREC classifier's heat signal.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.hpp"
+#include "common/types.hpp"
+#include "staging/object.hpp"
+
+namespace corec::tier {
+
+/// Storage layer identity, fastest first.
+enum class Tier : std::uint8_t { kMemory = 0, kNvram = 1, kSsd = 2 };
+
+inline const char* to_string(Tier t) {
+  switch (t) {
+    case Tier::kMemory: return "memory";
+    case Tier::kNvram: return "nvram";
+    case Tier::kSsd: return "ssd";
+  }
+  return "?";
+}
+
+/// Capacity and cost model of one layer.
+struct TierSpec {
+  Tier tier = Tier::kMemory;
+  std::size_t capacity_bytes = 0;  // 0 = this tier does not exist
+  SimTime access_latency = 0;      // per-request device latency
+  double bandwidth = 0;            // bytes/second
+
+  /// Virtual time to move `bytes` through this device.
+  SimTime access_time(std::size_t bytes) const {
+    return access_latency +
+           static_cast<SimTime>(static_cast<double>(bytes) /
+                                bandwidth * 1e9);
+  }
+};
+
+/// Defaults loosely modeled on 2018-era staging nodes.
+TierSpec memory_tier(std::size_t capacity);
+TierSpec nvram_tier(std::size_t capacity);
+TierSpec ssd_tier(std::size_t capacity);
+
+/// Per-tier occupancy and traffic counters.
+struct TierStats {
+  std::size_t resident_bytes = 0;
+  std::size_t resident_objects = 0;
+  std::uint64_t hits = 0;        // accesses served from this tier
+  std::uint64_t spills_in = 0;   // objects demoted into this tier
+  std::uint64_t promotions = 0;  // objects promoted out on access
+};
+
+/// Utility-based multi-tier object placement.
+class TieredStore {
+ public:
+  /// `tiers` must be ordered fastest-first and non-empty. The heat
+  /// decay is applied by end_of_step().
+  explicit TieredStore(std::vector<TierSpec> tiers,
+                       double heat_decay = 0.5);
+
+  /// Inserts (or refreshes) an object of `bytes` with initial heat.
+  /// New data lands in the fastest tier with room after spilling;
+  /// fails with ResourceExhausted when even the slowest tier is full.
+  Status put(const staging::ObjectDescriptor& desc, std::size_t bytes,
+             double heat = 1.0);
+
+  /// Access an object: returns the virtual access cost (from the tier
+  /// it resides on), bumps its heat, and promotes it one tier up when
+  /// its utility now exceeds the coldest resident above. NotFound if
+  /// the object is not resident.
+  StatusOr<SimTime> access(const staging::ObjectDescriptor& desc);
+
+  /// Removes an object.
+  bool erase(const staging::ObjectDescriptor& desc);
+
+  /// Applies heat decay (call once per application time step).
+  void end_of_step();
+
+  /// Where an object currently lives.
+  StatusOr<Tier> tier_of(const staging::ObjectDescriptor& desc) const;
+
+  const TierStats& stats(Tier t) const {
+    return stats_[static_cast<std::size_t>(t)];
+  }
+  std::size_t total_objects() const { return objects_.size(); }
+
+ private:
+  struct Resident {
+    std::size_t bytes = 0;
+    double heat = 0.0;
+    std::size_t tier_index = 0;
+  };
+
+  double utility(const Resident& r) const {
+    return r.heat / static_cast<double>(r.bytes == 0 ? 1 : r.bytes);
+  }
+
+  /// Frees at least `bytes` in tier `idx` by spilling residents with
+  /// utility below `incoming_utility` down (recursively); returns
+  /// false when the hierarchy cannot absorb them without evicting
+  /// hotter data.
+  bool make_room(std::size_t idx, std::size_t bytes,
+                 double incoming_utility);
+
+  /// Moves a resident between tiers, updating stats.
+  void move(const staging::ObjectDescriptor& desc, Resident* r,
+            std::size_t to_index);
+
+  std::vector<TierSpec> tiers_;
+  double heat_decay_;
+  std::unordered_map<staging::ObjectDescriptor, Resident,
+                     staging::DescriptorHash>
+      objects_;
+  std::vector<std::size_t> used_;  // bytes per tier
+  mutable std::vector<TierStats> stats_;
+};
+
+}  // namespace corec::tier

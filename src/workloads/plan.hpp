@@ -1,0 +1,49 @@
+// Workload plans: a declarative description of which regions are
+// written and read at every time step, decoupled from the staging
+// service that executes them. The synthetic cases of Section IV-1 and
+// the S3D coupled workflow are both expressed as plans.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "geom/bbox.hpp"
+
+namespace corec::workloads {
+
+/// One region operation (a writer's put or a reader's get).
+struct RegionOp {
+  VarId var = 0;
+  geom::BoundingBox box;
+};
+
+/// All traffic of one time step: writes happen first (the simulation
+/// phase), then reads (the coupled analysis phase).
+struct StepPlan {
+  std::vector<RegionOp> writes;
+  std::vector<RegionOp> reads;
+};
+
+/// A complete multi-step workload.
+struct WorkloadPlan {
+  std::string name;
+  geom::BoundingBox domain;
+  std::size_t element_size = 1;
+  std::vector<StepPlan> steps;
+
+  /// Total bytes written across all steps.
+  std::size_t bytes_written() const {
+    std::size_t total = 0;
+    for (const auto& s : steps) {
+      for (const auto& w : s.writes) {
+        total += static_cast<std::size_t>(w.box.volume()) * element_size;
+      }
+    }
+    return total;
+  }
+};
+
+}  // namespace corec::workloads

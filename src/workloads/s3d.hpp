@@ -1,0 +1,60 @@
+// S3D lifted-hydrogen combustion workflow generator (Section IV-2,
+// Table II). The simulation ranks each own a 64^3 spatial block of the
+// global grid and write it every time step; the coupled analysis ranks
+// read disjoint slabs of the whole domain each step. A `scale` knob
+// shrinks the per-rank block so paper-size core counts run quickly on
+// one machine (core counts and access pattern are preserved; only the
+// byte volume shrinks).
+#pragma once
+
+#include <cstddef>
+
+#include "workloads/plan.hpp"
+
+namespace corec::workloads {
+
+/// One Table II column.
+struct S3dConfig {
+  std::size_t sim_cores_x = 16;   // simulation rank grid
+  std::size_t sim_cores_y = 16;
+  std::size_t sim_cores_z = 16;
+  std::size_t staging_cores = 256;
+  std::size_t analysis_cores = 128;
+  geom::Coord block_extent = 64;  // 64^3 per rank (paper)
+  std::size_t element_size = 8;   // double-precision field
+  Version time_steps = 20;
+  VarId var = 1;
+
+  std::size_t sim_cores() const {
+    return sim_cores_x * sim_cores_y * sim_cores_z;
+  }
+  geom::Coord domain_x() const {
+    return static_cast<geom::Coord>(sim_cores_x) * block_extent;
+  }
+  geom::Coord domain_y() const {
+    return static_cast<geom::Coord>(sim_cores_y) * block_extent;
+  }
+  geom::Coord domain_z() const {
+    return static_cast<geom::Coord>(sim_cores_z) * block_extent;
+  }
+  /// Bytes staged per time step.
+  std::size_t bytes_per_step() const {
+    return static_cast<std::size_t>(domain_x()) *
+           static_cast<std::size_t>(domain_y()) *
+           static_cast<std::size_t>(domain_z()) * element_size;
+  }
+};
+
+/// The three Table II scenarios (4480 / 8960 / 17920 total cores).
+S3dConfig s3d_4480();
+S3dConfig s3d_8960();
+S3dConfig s3d_17920();
+
+/// Shrinks the per-rank block by `factor` (e.g. 4 turns 64^3 into
+/// 16^3), preserving core counts and the access pattern.
+S3dConfig scaled(S3dConfig config, geom::Coord factor);
+
+/// Builds the coupled simulation+analysis plan for a configuration.
+WorkloadPlan make_s3d_plan(const S3dConfig& config);
+
+}  // namespace corec::workloads

@@ -1,0 +1,200 @@
+// Chaos / property tests: randomized failure-replacement storms over
+// seeded runs. Invariants checked for every seed and mechanism:
+//   * no read ever returns corrupted bytes (the mirror check);
+//   * with failures spaced beyond the recovery deadline, no data loss;
+//   * the directory never references bytes that are not where it says
+//     they are (post-run consistency audit);
+//   * storage accounting matches the sum of representation sizes.
+#include <gtest/gtest.h>
+
+#include "core/corec_scheme.hpp"
+#include "net/failure.hpp"
+#include "workloads/driver.hpp"
+#include "workloads/mechanisms.hpp"
+#include "workloads/synthetic.hpp"
+
+namespace corec::workloads {
+namespace {
+
+staging::ServiceOptions chaos_service_options() {
+  auto opts = table1_service_options();
+  opts.domain = geom::BoundingBox::cube(0, 0, 0, 31, 31, 31);
+  opts.fit.target_bytes = 4096;
+  return opts;
+}
+
+SyntheticOptions chaos_workload() {
+  SyntheticOptions o;
+  o.domain_extent = 32;
+  o.writer_grid = 2;
+  o.readers = 4;
+  o.time_steps = 12;
+  return o;
+}
+
+/// Audits that every directory record is backed by stored bytes on the
+/// servers it names (dead servers excused).
+void audit_directory(staging::StagingService& service) {
+  service.directory().for_each([&](const staging::ObjectDescriptor& desc,
+                                   const staging::ObjectLocation& loc) {
+    if (loc.protection == staging::Protection::kEncoded) {
+      for (std::size_t i = 0; i < loc.stripe_servers.size(); ++i) {
+        ServerId s = loc.stripe_servers[i];
+        if (!service.alive(s)) continue;
+        // A live stripe member either holds its shard or lost it to a
+        // failure and awaits repair — it must never hold a *wrong*
+        // shard size.
+        const auto* stored = service.server(s).store.find(
+            desc.shard_of(static_cast<staging::ShardIndex>(1 + i)));
+        if (stored != nullptr) {
+          EXPECT_EQ(stored->object.logical_size, loc.chunk_size)
+              << desc.to_string();
+        }
+      }
+    } else {
+      if (service.alive(loc.primary)) {
+        const auto* stored = service.server(loc.primary).store.find(desc);
+        if (stored != nullptr) {
+          EXPECT_EQ(stored->object.logical_size, loc.logical_size);
+        }
+      }
+    }
+  });
+}
+
+/// Sums the bytes each directory record implies and compares with the
+/// stores' accounting (tolerating entries currently lost to failures).
+void audit_accounting(staging::StagingService& service) {
+  std::size_t implied = 0;
+  service.directory().for_each([&](const staging::ObjectDescriptor&,
+                                   const staging::ObjectLocation& loc) {
+    if (loc.protection == staging::Protection::kEncoded) {
+      implied += loc.chunk_size * (loc.k + loc.m);
+    } else {
+      implied += loc.logical_size * (1 + loc.replicas.size());
+    }
+  });
+  // Stores can only hold *less* than implied (failures drop entries),
+  // never more (no leaks).
+  EXPECT_LE(service.stored_bytes(), implied);
+  // Incremental byte accounting agrees with the per-store sums.
+  EXPECT_EQ(service.stored_bytes(), service.stored_bytes_recomputed());
+}
+
+class ChaosSeedTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ChaosSeedTest, CorecSurvivesSpacedFailures) {
+  std::uint64_t seed = GetParam();
+  MechanismParams params;
+  params.recovery.mtbf_seconds = 0.08;  // lazy deadline 20 ms
+
+  sim::Simulation sim;
+  staging::StagingService service(chaos_service_options(), &sim,
+                                  make_scheme(Mechanism::kCorec, params));
+  WorkloadDriver driver(&service, {.verify_reads = true});
+
+  // One random kill+replace cycle every ~3 steps, never overlapping:
+  // within the m=1 tolerance, so zero loss is required.
+  Rng rng(seed);
+  for (Version step = 2; step + 2 < chaos_workload().time_steps;
+       step += 3) {
+    auto victim = static_cast<ServerId>(
+        rng.uniform(static_cast<std::uint32_t>(service.num_servers())));
+    driver.add_hook(step, [&service, victim] {
+      service.kill_server(victim);
+    });
+    driver.add_hook(step + 1, [&service, victim] {
+      service.replace_server(victim);
+    });
+  }
+
+  auto metrics = driver.run(make_synthetic_case(3, chaos_workload()));
+  EXPECT_EQ(metrics.corrupt_reads(), 0u) << "seed " << seed;
+  EXPECT_EQ(metrics.data_loss_reads(), 0u) << "seed " << seed;
+  audit_directory(service);
+  audit_accounting(service);
+}
+
+TEST_P(ChaosSeedTest, ErasureNeverCorruptsEvenWithLoss) {
+  // Overlapping double failures CAN exceed m=1 tolerance: loss is then
+  // legitimate, but corruption never is.
+  std::uint64_t seed = GetParam();
+  sim::Simulation sim;
+  staging::StagingService service(chaos_service_options(), &sim,
+                                  make_scheme(Mechanism::kErasure));
+  WorkloadDriver driver(&service, {.verify_reads = true});
+  Rng rng(seed * 31 + 7);
+  for (Version step = 1; step + 1 < chaos_workload().time_steps;
+       step += 2) {
+    auto a = static_cast<ServerId>(
+        rng.uniform(static_cast<std::uint32_t>(service.num_servers())));
+    auto b = static_cast<ServerId>(
+        rng.uniform(static_cast<std::uint32_t>(service.num_servers())));
+    driver.add_hook(step, [&service, a] { service.kill_server(a); });
+    driver.add_hook(step, [&service, b] { service.kill_server(b); });
+    driver.add_hook(step + 1, [&service, a] {
+      service.replace_server(a);
+    });
+    driver.add_hook(step + 1, [&service, b] {
+      service.replace_server(b);
+    });
+  }
+  auto metrics = driver.run(make_synthetic_case(4, chaos_workload()));
+  EXPECT_EQ(metrics.corrupt_reads(), 0u) << "seed " << seed;
+  audit_directory(service);
+  audit_accounting(service);
+}
+
+TEST_P(ChaosSeedTest, ReplicationWithTwoCopiesSurvivesSingles) {
+  std::uint64_t seed = GetParam();
+  MechanismParams params;
+  params.n_level = 2;  // tolerate the occasional overlap
+  sim::Simulation sim;
+  staging::StagingService service(
+      chaos_service_options(), &sim,
+      make_scheme(Mechanism::kReplication, params));
+  WorkloadDriver driver(&service, {.verify_reads = true});
+  Rng rng(seed * 131 + 3);
+  for (Version step = 2; step + 1 < chaos_workload().time_steps;
+       step += 2) {
+    auto victim = static_cast<ServerId>(
+        rng.uniform(static_cast<std::uint32_t>(service.num_servers())));
+    driver.add_hook(step, [&service, victim] {
+      service.kill_server(victim);
+    });
+    driver.add_hook(step + 1, [&service, victim] {
+      service.replace_server(victim);
+    });
+  }
+  auto metrics = driver.run(make_synthetic_case(1, chaos_workload()));
+  EXPECT_EQ(metrics.corrupt_reads(), 0u) << "seed " << seed;
+  EXPECT_EQ(metrics.data_loss_reads(), 0u) << "seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChaosSeedTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55,
+                                           89));
+
+TEST(Chaos, MtbfDrivenStormNeverCorrupts) {
+  // Full random storm through the FailureInjector, phantom payloads
+  // for speed plus a real-payload spot check.
+  MechanismParams params;
+  params.recovery.mtbf_seconds = 0.1;
+  sim::Simulation sim;
+  staging::StagingService service(chaos_service_options(), &sim,
+                                  make_scheme(Mechanism::kCorec, params));
+  net::FailureInjector injector(
+      &sim, [&service](ServerId s) { service.kill_server(s); },
+      [&service](ServerId s) { service.replace_server(s); });
+  Rng rng(4242);
+  injector.schedule_mtbf(0.05, from_seconds(0.005), from_seconds(0.4),
+                         service.num_servers(), from_seconds(0.01),
+                         &rng);
+  WorkloadDriver driver(&service, {.verify_reads = true});
+  auto metrics = driver.run(make_synthetic_case(3, chaos_workload()));
+  EXPECT_EQ(metrics.corrupt_reads(), 0u);
+  audit_directory(service);
+}
+
+}  // namespace
+}  // namespace corec::workloads

@@ -1,0 +1,152 @@
+// GF(2^8) matrix algebra used by Reed-Solomon decoding.
+#include "erasure/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gf/gf256.hpp"
+
+namespace corec::erasure {
+namespace {
+
+TEST(GfMatrix, IdentityMultiplication) {
+  GfMatrix id = GfMatrix::identity(4);
+  GfMatrix m(4, 4);
+  for (std::size_t r = 0; r < 4; ++r) {
+    for (std::size_t c = 0; c < 4; ++c) {
+      m.at(r, c) = static_cast<std::uint8_t>(r * 4 + c + 1);
+    }
+  }
+  EXPECT_EQ(m.multiply(id), m);
+  EXPECT_EQ(id.multiply(m), m);
+}
+
+TEST(GfMatrix, InverseProducesIdentity) {
+  // Cauchy square blocks are always invertible.
+  GfMatrix m = GfMatrix::cauchy(5, 5);
+  auto inv = m.inverted();
+  ASSERT_TRUE(inv.ok());
+  EXPECT_EQ(m.multiply(inv.value()), GfMatrix::identity(5));
+  EXPECT_EQ(inv.value().multiply(m), GfMatrix::identity(5));
+}
+
+TEST(GfMatrix, SingularMatrixRejected) {
+  GfMatrix m(3, 3);
+  // Two equal rows -> singular.
+  for (std::size_t c = 0; c < 3; ++c) {
+    m.at(0, c) = static_cast<std::uint8_t>(c + 1);
+    m.at(1, c) = static_cast<std::uint8_t>(c + 1);
+    m.at(2, c) = static_cast<std::uint8_t>(3 * c + 2);
+  }
+  auto inv = m.inverted();
+  EXPECT_FALSE(inv.ok());
+  EXPECT_EQ(inv.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_LT(m.rank(), 3u);
+}
+
+TEST(GfMatrix, RankOfIdentity) {
+  EXPECT_EQ(GfMatrix::identity(6).rank(), 6u);
+}
+
+TEST(GfMatrix, RankOfZero) {
+  GfMatrix z(4, 4);
+  EXPECT_EQ(z.rank(), 0u);
+}
+
+TEST(GfMatrix, VandermondeStructure) {
+  GfMatrix v = GfMatrix::vandermonde(5, 3);
+  for (std::size_t c = 0; c < 3; ++c) {
+    EXPECT_EQ(v.at(0, c), 1);  // alpha^0
+  }
+  for (std::size_t r = 0; r < 5; ++r) {
+    EXPECT_EQ(v.at(r, 0), 1);  // column 0 is alpha^(r*0)
+  }
+  EXPECT_EQ(v.at(1, 1), 2);  // alpha^1
+  EXPECT_EQ(v.at(2, 1), 4);  // alpha^2
+}
+
+TEST(GfMatrix, CauchyAnySquareSubmatrixInvertible) {
+  GfMatrix c = GfMatrix::cauchy(4, 4);
+  // All 2x2 minors of a Cauchy matrix are non-singular; spot check by
+  // selecting row pairs and verifying rank 2 on a 2x4 slice has rank 2.
+  for (std::size_t r1 = 0; r1 < 4; ++r1) {
+    for (std::size_t r2 = r1 + 1; r2 < 4; ++r2) {
+      GfMatrix sub = c.select_rows({r1, r2});
+      EXPECT_EQ(sub.rank(), 2u) << r1 << "," << r2;
+    }
+  }
+}
+
+TEST(GfMatrix, MakeSystematicTopBlockIsIdentity) {
+  GfMatrix g = GfMatrix::vandermonde(7, 4);
+  ASSERT_TRUE(g.make_systematic().ok());
+  for (std::size_t r = 0; r < 4; ++r) {
+    for (std::size_t c = 0; c < 4; ++c) {
+      EXPECT_EQ(g.at(r, c), r == c ? 1 : 0);
+    }
+  }
+  // Every k-row subset must still be invertible (MDS preserved by
+  // column operations).
+  GfMatrix sub = g.select_rows({0, 4, 5, 6});
+  EXPECT_TRUE(sub.inverted().ok());
+  sub = g.select_rows({1, 2, 4, 6});
+  EXPECT_TRUE(sub.inverted().ok());
+}
+
+TEST(GfMatrix, SelectRows) {
+  GfMatrix m = GfMatrix::vandermonde(4, 2);
+  GfMatrix sel = m.select_rows({3, 0});
+  EXPECT_EQ(sel.rows(), 2u);
+  EXPECT_EQ(sel.cols(), 2u);
+  EXPECT_EQ(sel.at(0, 0), m.at(3, 0));
+  EXPECT_EQ(sel.at(0, 1), m.at(3, 1));
+  EXPECT_EQ(sel.at(1, 0), m.at(0, 0));
+}
+
+TEST(GfMatrix, MultiplyDimensions) {
+  GfMatrix a(2, 3);
+  GfMatrix b(3, 4);
+  a.at(0, 0) = 1;
+  a.at(1, 2) = 2;
+  b.at(0, 1) = 3;
+  b.at(2, 3) = 4;
+  GfMatrix p = a.multiply(b);
+  EXPECT_EQ(p.rows(), 2u);
+  EXPECT_EQ(p.cols(), 4u);
+  EXPECT_EQ(p.at(0, 1), 3);
+  EXPECT_EQ(p.at(1, 3), gf::mul(2, 4));
+}
+
+class MdsPropertyTest
+    : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>> {
+};
+
+TEST_P(MdsPropertyTest, EveryKSubsetOfSystematicGeneratorInvertible) {
+  auto [k, m] = GetParam();
+  GfMatrix g = GfMatrix::vandermonde(k + m, k);
+  ASSERT_TRUE(g.make_systematic().ok());
+  // Exhaustively check all C(k+m, k) row subsets for small geometries.
+  std::vector<std::size_t> idx(k);
+  std::function<void(std::size_t, std::size_t)> rec =
+      [&](std::size_t start, std::size_t depth) {
+        if (depth == k) {
+          GfMatrix sub = g.select_rows(idx);
+          EXPECT_TRUE(sub.inverted().ok());
+          return;
+        }
+        for (std::size_t i = start; i < k + m; ++i) {
+          idx[depth] = i;
+          rec(i + 1, depth + 1);
+        }
+      };
+  rec(0, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, MdsPropertyTest,
+    ::testing::Values(std::make_pair(2, 1), std::make_pair(3, 1),
+                      std::make_pair(3, 2), std::make_pair(4, 2),
+                      std::make_pair(6, 2), std::make_pair(6, 3),
+                      std::make_pair(4, 4)));
+
+}  // namespace
+}  // namespace corec::erasure

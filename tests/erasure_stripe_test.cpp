@@ -1,0 +1,113 @@
+// Stripe assembly: payload padding, round-trips, repair helpers.
+#include "erasure/stripe.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace corec::erasure {
+namespace {
+
+Bytes pattern(std::size_t n, std::uint8_t seed) {
+  Bytes b(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    b[i] = static_cast<std::uint8_t>(seed + i * 3);
+  }
+  return b;
+}
+
+TEST(Stripe, BuildPadsToLargestPayload) {
+  auto codec_or = make_reed_solomon(3, 2);
+  ASSERT_TRUE(codec_or.ok());
+  auto& codec = *codec_or.value();
+  Bytes a = pattern(100, 1), b = pattern(37, 2), c = pattern(64, 3);
+  auto stripe_or = build_stripe(codec, {ByteSpan(a), ByteSpan(b),
+                                        ByteSpan(c)});
+  ASSERT_TRUE(stripe_or.ok());
+  const Stripe& s = stripe_or.value();
+  EXPECT_EQ(s.block_size, 100u);
+  EXPECT_EQ(s.n(), 5u);
+  EXPECT_EQ(s.payload_sizes, (std::vector<std::size_t>{100, 37, 64}));
+  for (const auto& blk : s.blocks) EXPECT_EQ(blk.size(), 100u);
+}
+
+TEST(Stripe, ExtractRoundTrips) {
+  auto codec_or = make_reed_solomon(2, 1);
+  ASSERT_TRUE(codec_or.ok());
+  Bytes a = pattern(55, 7), b = pattern(20, 9);
+  auto stripe = build_stripe(*codec_or.value(), {ByteSpan(a), ByteSpan(b)});
+  ASSERT_TRUE(stripe.ok());
+  auto ra = extract_payload(stripe.value(), 0);
+  auto rb = extract_payload(stripe.value(), 1);
+  ASSERT_TRUE(ra.ok());
+  ASSERT_TRUE(rb.ok());
+  EXPECT_EQ(ra.value(), a);
+  EXPECT_EQ(rb.value(), b);
+}
+
+TEST(Stripe, RepairRestoresPayloadsAfterErasures) {
+  auto codec_or = make_reed_solomon(4, 2);
+  ASSERT_TRUE(codec_or.ok());
+  auto& codec = *codec_or.value();
+  std::vector<Bytes> payloads;
+  std::vector<ByteSpan> spans;
+  for (int i = 0; i < 4; ++i) {
+    payloads.push_back(pattern(80 + i, static_cast<std::uint8_t>(i)));
+  }
+  for (auto& p : payloads) spans.emplace_back(p);
+  auto stripe_or = build_stripe(codec, spans);
+  ASSERT_TRUE(stripe_or.ok());
+  Stripe s = std::move(stripe_or).value();
+
+  // Lose data block 1 and parity block 4.
+  std::fill(s.blocks[1].begin(), s.blocks[1].end(), 0);
+  std::fill(s.blocks[4].begin(), s.blocks[4].end(), 0);
+  ASSERT_TRUE(repair_stripe(codec, &s, {1, 4}).ok());
+  for (int i = 0; i < 4; ++i) {
+    auto p = extract_payload(s, static_cast<std::size_t>(i));
+    ASSERT_TRUE(p.ok());
+    EXPECT_EQ(p.value(), payloads[static_cast<std::size_t>(i)]);
+  }
+}
+
+TEST(Stripe, MissingTrailingPayloadsAreEmpty) {
+  auto codec_or = make_reed_solomon(3, 1);
+  ASSERT_TRUE(codec_or.ok());
+  Bytes a = pattern(10, 1);
+  auto stripe = build_stripe(*codec_or.value(), {ByteSpan(a)});
+  ASSERT_TRUE(stripe.ok());
+  EXPECT_EQ(stripe.value().payload_sizes[1], 0u);
+  EXPECT_EQ(stripe.value().payload_sizes[2], 0u);
+  auto empty = extract_payload(stripe.value(), 2);
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty.value().empty());
+}
+
+TEST(Stripe, TooManyPayloadsRejected) {
+  auto codec_or = make_reed_solomon(2, 1);
+  ASSERT_TRUE(codec_or.ok());
+  Bytes a = pattern(5, 1);
+  auto stripe = build_stripe(*codec_or.value(),
+                             {ByteSpan(a), ByteSpan(a), ByteSpan(a)});
+  EXPECT_FALSE(stripe.ok());
+}
+
+TEST(Stripe, ReencodeAfterManualEdit) {
+  auto codec_or = make_reed_solomon(2, 1);
+  ASSERT_TRUE(codec_or.ok());
+  auto& codec = *codec_or.value();
+  Bytes a = pattern(32, 1), b = pattern(32, 2);
+  auto stripe_or = build_stripe(codec, {ByteSpan(a), ByteSpan(b)});
+  ASSERT_TRUE(stripe_or.ok());
+  Stripe s = std::move(stripe_or).value();
+  s.blocks[0][5] ^= 0xFF;  // mutate data
+  ASSERT_TRUE(reencode_parity(codec, &s).ok());
+  // Parity must be consistent again: erase block 0 and repair.
+  Bytes expected = s.blocks[0];
+  std::fill(s.blocks[0].begin(), s.blocks[0].end(), 0);
+  ASSERT_TRUE(repair_stripe(codec, &s, {0}).ok());
+  EXPECT_EQ(s.blocks[0], expected);
+}
+
+}  // namespace
+}  // namespace corec::erasure

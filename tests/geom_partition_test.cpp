@@ -1,0 +1,133 @@
+// Algorithm 1 (geometric partition and fitting) post-conditions.
+#include "geom/partition.hpp"
+
+#include <gtest/gtest.h>
+
+namespace corec::geom {
+namespace {
+
+std::uint64_t total_volume(const std::vector<FittedPiece>& pieces) {
+  std::uint64_t v = 0;
+  for (const auto& p : pieces) v += p.box.volume();
+  return v;
+}
+
+void expect_disjoint(const std::vector<FittedPiece>& pieces) {
+  for (std::size_t i = 0; i < pieces.size(); ++i) {
+    for (std::size_t j = i + 1; j < pieces.size(); ++j) {
+      EXPECT_FALSE(pieces[i].box.intersects(pieces[j].box))
+          << i << " vs " << j;
+    }
+  }
+}
+
+TEST(PartitionAndFit, SmallObjectUntouched) {
+  FitOptions opts;
+  opts.target_bytes = 1 << 20;
+  opts.element_size = 8;
+  auto obj = BoundingBox::cube(0, 0, 0, 15, 15, 15);  // 32 KiB
+  auto pieces = partition_and_fit(obj, opts);
+  ASSERT_EQ(pieces.size(), 1u);
+  EXPECT_EQ(pieces[0].box, obj);
+  EXPECT_EQ(pieces[0].bytes, 16u * 16 * 16 * 8);
+}
+
+TEST(PartitionAndFit, EveryPieceWithinTarget) {
+  FitOptions opts;
+  opts.target_bytes = 4096;
+  opts.element_size = 1;
+  auto obj = BoundingBox::cube(0, 0, 0, 63, 63, 63);  // 256 KiB
+  auto pieces = partition_and_fit(obj, opts);
+  EXPECT_GT(pieces.size(), 1u);
+  for (const auto& p : pieces) {
+    EXPECT_LE(p.bytes, opts.target_bytes);
+    EXPECT_EQ(p.bytes, p.box.volume() * opts.element_size);
+  }
+  EXPECT_EQ(total_volume(pieces), obj.volume());
+  expect_disjoint(pieces);
+}
+
+TEST(PartitionAndFit, SplitsLongestDimensionFirst) {
+  FitOptions opts;
+  opts.target_bytes = 64;
+  opts.element_size = 1;
+  // A 128 x 1 line: splits must all happen along dim 0.
+  auto obj = BoundingBox::rect(0, 0, 127, 0);
+  auto pieces = partition_and_fit(obj, opts);
+  EXPECT_EQ(pieces.size(), 2u);
+  for (const auto& p : pieces) {
+    EXPECT_EQ(p.box.extent(1), 1);
+    EXPECT_EQ(p.bytes, 64u);
+  }
+}
+
+TEST(PartitionAndFit, PowerOfTwoCubeSplitsUniformly) {
+  FitOptions opts;
+  opts.target_bytes = 8 * 8 * 8;
+  opts.element_size = 1;
+  auto obj = BoundingBox::cube(0, 0, 0, 31, 31, 31);
+  auto pieces = partition_and_fit(obj, opts);
+  // "Under perfect conditions, every object can be partitioned into
+  // regular and uniform n-dimensional objects."
+  EXPECT_EQ(pieces.size(), 64u);
+  for (const auto& p : pieces) {
+    EXPECT_EQ(p.box.extent(0), 8);
+    EXPECT_EQ(p.box.extent(1), 8);
+    EXPECT_EQ(p.box.extent(2), 8);
+  }
+  expect_disjoint(pieces);
+}
+
+TEST(PartitionAndFit, MinExtentStopsSplitting) {
+  FitOptions opts;
+  opts.target_bytes = 1;  // impossible target
+  opts.element_size = 1;
+  opts.min_extent = 4;
+  auto obj = BoundingBox::line(0, 31);
+  auto pieces = partition_and_fit(obj, opts);
+  // Pieces stop shrinking at extent 4 even though they exceed target.
+  for (const auto& p : pieces) {
+    EXPECT_GE(p.box.extent(0), 4);
+  }
+  EXPECT_EQ(total_volume(pieces), obj.volume());
+}
+
+TEST(PartitionAndFit, UnitBoxNeverSplits) {
+  FitOptions opts;
+  opts.target_bytes = 1;
+  opts.element_size = 64;  // payload 64 > target, but unsplittable
+  auto obj = BoundingBox::cube(5, 5, 5, 5, 5, 5);
+  auto pieces = partition_and_fit(obj, opts);
+  ASSERT_EQ(pieces.size(), 1u);
+  EXPECT_EQ(pieces[0].bytes, 64u);
+}
+
+TEST(PartitionAndFit, OddExtentsStillCoverExactly) {
+  FitOptions opts;
+  opts.target_bytes = 100;
+  opts.element_size = 1;
+  auto obj = BoundingBox::rect(3, 7, 41, 23);  // 39 x 17
+  auto pieces = partition_and_fit(obj, opts);
+  EXPECT_EQ(total_volume(pieces), obj.volume());
+  expect_disjoint(pieces);
+  for (const auto& p : pieces) {
+    EXPECT_TRUE(obj.contains(p.box));
+    EXPECT_LE(p.bytes, opts.target_bytes);
+  }
+}
+
+TEST(PartitionAndFit, DeterministicOrder) {
+  FitOptions opts;
+  opts.target_bytes = 512;
+  opts.element_size = 1;
+  auto obj = BoundingBox::cube(0, 0, 0, 31, 31, 15);
+  auto a = partition_and_fit(obj, opts);
+  auto b = partition_and_fit(obj, opts);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].box, b[i].box);
+  }
+}
+
+}  // namespace
+}  // namespace corec::geom

@@ -1,0 +1,202 @@
+// Full-system integration: every mechanism runs every synthetic case
+// with byte-verified reads, with and without failures, and the paper's
+// qualitative orderings hold on the Table I configuration.
+#include <gtest/gtest.h>
+
+#include "core/corec_scheme.hpp"
+#include "workloads/driver.hpp"
+#include "workloads/mechanisms.hpp"
+#include "workloads/synthetic.hpp"
+
+namespace corec::workloads {
+namespace {
+
+SyntheticOptions verified_synth() {
+  SyntheticOptions o;
+  o.domain_extent = 32;  // 32 KiB domain: fast byte-verified runs
+  o.writer_grid = 2;
+  o.readers = 4;
+  o.time_steps = 8;
+  return o;
+}
+
+staging::ServiceOptions verified_service_options() {
+  auto opts = table1_service_options();
+  opts.domain = geom::BoundingBox::cube(0, 0, 0, 31, 31, 31);
+  opts.fit.target_bytes = 2048;
+  return opts;
+}
+
+struct CasePlusMechanism {
+  int case_number;
+  Mechanism mechanism;
+};
+
+void PrintTo(const CasePlusMechanism& c, std::ostream* os) {
+  *os << "case" << c.case_number << "/" << to_string(c.mechanism);
+}
+
+class VerifiedMatrixTest
+    : public ::testing::TestWithParam<CasePlusMechanism> {};
+
+TEST_P(VerifiedMatrixTest, FailureFreeRunsAreByteExact) {
+  auto [case_number, mechanism] = GetParam();
+  sim::Simulation sim;
+  staging::StagingService service(verified_service_options(), &sim,
+                                  make_scheme(mechanism));
+  WorkloadDriver driver(&service, {.verify_reads = true});
+  RunMetrics m = driver.run(make_synthetic_case(case_number,
+                                                verified_synth()));
+  EXPECT_EQ(m.corrupt_reads(), 0u);
+  EXPECT_EQ(m.data_loss_reads(), 0u);
+  EXPECT_GT(m.total_reads, 0u);
+  for (const auto& step : m.steps) {
+    EXPECT_EQ(step.read_failures, 0u);
+    EXPECT_EQ(step.write_failures, 0u);
+  }
+}
+
+TEST_P(VerifiedMatrixTest, SingleFailureRunsAreByteExact) {
+  auto [case_number, mechanism] = GetParam();
+  if (mechanism == Mechanism::kNone) {
+    GTEST_SKIP() << "no fault tolerance: loss is expected";
+  }
+  sim::Simulation sim;
+  staging::StagingService service(verified_service_options(), &sim,
+                                  make_scheme(mechanism));
+  WorkloadDriver driver(&service, {.verify_reads = true});
+  driver.add_hook(3, [&] { service.kill_server(2); });
+  driver.add_hook(6, [&] { service.replace_server(2); });
+  RunMetrics m = driver.run(make_synthetic_case(case_number,
+                                                verified_synth()));
+  EXPECT_EQ(m.corrupt_reads(), 0u);
+  EXPECT_EQ(m.data_loss_reads(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCasesAllMechanisms, VerifiedMatrixTest,
+    ::testing::Values(
+        CasePlusMechanism{1, Mechanism::kNone},
+        CasePlusMechanism{1, Mechanism::kReplication},
+        CasePlusMechanism{1, Mechanism::kErasure},
+        CasePlusMechanism{1, Mechanism::kHybrid},
+        CasePlusMechanism{1, Mechanism::kCorec},
+        CasePlusMechanism{2, Mechanism::kReplication},
+        CasePlusMechanism{2, Mechanism::kErasure},
+        CasePlusMechanism{2, Mechanism::kCorec},
+        CasePlusMechanism{3, Mechanism::kErasure},
+        CasePlusMechanism{3, Mechanism::kHybrid},
+        CasePlusMechanism{3, Mechanism::kCorec},
+        CasePlusMechanism{4, Mechanism::kErasure},
+        CasePlusMechanism{4, Mechanism::kCorec},
+        CasePlusMechanism{4, Mechanism::kCorecAggressive},
+        CasePlusMechanism{5, Mechanism::kReplication},
+        CasePlusMechanism{5, Mechanism::kErasure},
+        CasePlusMechanism{5, Mechanism::kCorec}));
+
+TEST(Integration, DoubleFailureWithM2Survives) {
+  MechanismParams params;
+  params.k = 2;
+  params.m = 2;
+  params.n_level = 2;
+  params.storage_floor = 0.5;
+  sim::Simulation sim;
+  staging::StagingService service(
+      verified_service_options(), &sim,
+      make_scheme(Mechanism::kCorec, params));
+  WorkloadDriver driver(&service, {.verify_reads = true});
+  driver.add_hook(3, [&] { service.kill_server(0); });
+  driver.add_hook(4, [&] { service.kill_server(4); });
+  driver.add_hook(6, [&] { service.replace_server(0); });
+  driver.add_hook(7, [&] { service.replace_server(4); });
+  RunMetrics m = driver.run(make_synthetic_case(5, verified_synth()));
+  EXPECT_EQ(m.corrupt_reads(), 0u);
+  EXPECT_EQ(m.data_loss_reads(), 0u);
+}
+
+// --- qualitative shape checks on the Table I configuration -----------
+
+RunMetrics run_case(int case_number, Mechanism mechanism,
+                    Version steps = 10) {
+  sim::Simulation sim;
+  staging::StagingService service(table1_service_options(), &sim,
+                                  make_scheme(mechanism));
+  WorkloadDriver driver(&service);  // phantom payloads, full 256^3
+  SyntheticOptions o;
+  o.time_steps = steps;
+  RunMetrics m = driver.run(make_synthetic_case(case_number, o));
+  return m;
+}
+
+TEST(IntegrationShape, Case1WriteOrderingMatchesPaper) {
+  // Fig. 8 case 1: DataSpaces < Replicate < CoREC < Hybrid < Erasure.
+  double none = run_case(1, Mechanism::kNone).avg_write_response();
+  double repl =
+      run_case(1, Mechanism::kReplication).avg_write_response();
+  double corec = run_case(1, Mechanism::kCorec).avg_write_response();
+  double hybrid = run_case(1, Mechanism::kHybrid).avg_write_response();
+  double erasure = run_case(1, Mechanism::kErasure).avg_write_response();
+  EXPECT_LT(none, repl);
+  EXPECT_LT(repl, corec);
+  EXPECT_LT(corec, hybrid);
+  EXPECT_LT(hybrid, erasure);
+}
+
+TEST(IntegrationShape, Case3CorecTracksReplication) {
+  // With a stable hot subset, CoREC's write response approaches
+  // replication (paper: +1.51%) and clearly beats hybrid/erasure.
+  double repl =
+      run_case(3, Mechanism::kReplication).avg_write_response();
+  double corec = run_case(3, Mechanism::kCorec).avg_write_response();
+  double hybrid = run_case(3, Mechanism::kHybrid).avg_write_response();
+  EXPECT_LT(corec, hybrid);
+  EXPECT_LT((corec - repl) / repl, 0.30);
+}
+
+TEST(IntegrationShape, StorageEfficiencyRespectsConstraint) {
+  auto corec = run_case(1, Mechanism::kCorec);
+  auto repl = run_case(1, Mechanism::kReplication);
+  auto erasure = run_case(1, Mechanism::kErasure);
+  EXPECT_NEAR(repl.storage_efficiency, 0.50, 0.02);
+  EXPECT_NEAR(erasure.storage_efficiency, 0.75, 0.02);
+  EXPECT_GE(corec.storage_efficiency, 0.65);
+  EXPECT_LE(corec.storage_efficiency, 0.78);
+}
+
+TEST(IntegrationShape, Case5ReadsFasterWithStriping) {
+  // Fig. 8 case 5: erasure-style striping spreads a read over several
+  // servers, beating single-copy staging for read response.
+  double none = run_case(5, Mechanism::kNone).avg_read_response();
+  double erasure = run_case(5, Mechanism::kErasure).avg_read_response();
+  EXPECT_LT(erasure, none);
+}
+
+TEST(IntegrationShape, DegradedReadSlowerThanLazyRecovered) {
+  // Degraded mode (no replacement) raises read response more than lazy
+  // recovery does (paper: +4.11% vs +2.41% single failure).
+  auto run_with = [&](bool replace) {
+    sim::Simulation sim;
+    staging::StagingService service(table1_service_options(), &sim,
+                                    make_scheme(Mechanism::kCorec));
+    WorkloadDriver driver(&service);
+    driver.add_hook(4, [&service] { service.kill_server(3); });
+    if (replace) {
+      driver.add_hook(8, [&service] { service.replace_server(3); });
+    }
+    SyntheticOptions o;
+    o.time_steps = 16;
+    RunMetrics m = driver.run(make_synthetic_case(5, o));
+    // Average read response over the tail (post step 8).
+    RunningStat tail;
+    for (std::size_t s = 9; s < m.steps.size(); ++s) {
+      tail.merge(m.steps[s].read_response);
+    }
+    return tail.mean();
+  };
+  double degraded_tail = run_with(false);
+  double recovered_tail = run_with(true);
+  EXPECT_GT(degraded_tail, recovered_tail);
+}
+
+}  // namespace
+}  // namespace corec::workloads

@@ -1,0 +1,98 @@
+// Cross-validation of the Section II-D analytic model against the
+// simulated system: the model's qualitative predictions (cost
+// orderings, storage efficiencies, the P_r knee) must agree with what
+// the staging cluster actually produces.
+#include <gtest/gtest.h>
+
+#include "core/model.hpp"
+#include "resilience/primitives.hpp"
+#include "resilience/schemes.hpp"
+#include "staging/service.hpp"
+
+namespace corec {
+namespace {
+
+staging::ServiceOptions options_8() {
+  staging::ServiceOptions opts;
+  opts.topology = net::Topology(4, 2, 1);
+  opts.domain = geom::BoundingBox::cube(0, 0, 0, 31, 31, 31);
+  opts.fit.element_size = 64;        // 2 MiB domain
+  opts.fit.target_bytes = 8u << 20;  // single piece per put
+  return opts;
+}
+
+// Measures the virtual-time cost of one isolated put under a scheme.
+SimTime one_put(std::unique_ptr<staging::ResilienceScheme> scheme) {
+  sim::Simulation sim;
+  staging::StagingService svc(options_8(), &sim, std::move(scheme));
+  auto box = geom::BoundingBox::cube(0, 0, 0, 15, 15, 15);  // 256 KiB
+  auto res = svc.put_phantom(1, 0, box);
+  EXPECT_TRUE(res.status.ok());
+  return res.response_time();
+}
+
+TEST(ModelVsSystem, WriteCostOrderingAgrees) {
+  // Model: C_r < C_e. System: replication put < erasure put.
+  core::ModelParams p;
+  core::AnalyticModel model(p);
+  ASSERT_LT(model.cost_replica_unit(), model.cost_erasure_unit());
+
+  SimTime repl = one_put(std::make_unique<resilience::ReplicationScheme>(1));
+  SimTime eras = one_put(std::make_unique<resilience::ErasureScheme>(3, 1));
+  EXPECT_LT(repl, eras);
+}
+
+TEST(ModelVsSystem, StorageEfficienciesAgree) {
+  core::ModelParams p;
+  p.n_level = 1;
+  p.n_node = 3;
+  core::AnalyticModel model(p);
+
+  {
+    sim::Simulation sim;
+    staging::StagingService svc(
+        options_8(), &sim, std::make_unique<resilience::ReplicationScheme>(1));
+    auto box = geom::BoundingBox::cube(0, 0, 0, 15, 15, 15);
+    ASSERT_TRUE(svc.put_phantom(1, 0, box).status.ok());
+    EXPECT_NEAR(svc.storage_efficiency(), model.efficiency_replication(),
+                0.01);
+  }
+  {
+    sim::Simulation sim;
+    staging::StagingService svc(
+        options_8(), &sim, std::make_unique<resilience::ErasureScheme>(3, 1));
+    auto box = geom::BoundingBox::cube(0, 0, 0, 15, 15, 15);
+    ASSERT_TRUE(svc.put_phantom(1, 0, box).status.ok());
+    EXPECT_NEAR(svc.storage_efficiency(), model.efficiency_erasure(),
+                0.02);
+  }
+}
+
+TEST(ModelVsSystem, ConstraintPrMatchesHybridHelper) {
+  // The model's P_r at the constraint equals the helper the hybrid
+  // scheme is configured with.
+  core::ModelParams p;
+  p.n_level = 1;
+  p.n_node = 3;
+  p.S = 0.67;
+  core::AnalyticModel model(p);
+  double helper = resilience::replication_probability_for_constraint(
+      0.67, 1, 3, 1);
+  EXPECT_NEAR(model.p_r_at_constraint(), helper, 1e-12);
+}
+
+TEST(ModelVsSystem, ErasureCostGrowsWithStripeWidthInBoth) {
+  core::ModelParams narrow, wide;
+  narrow.n_node = 3;
+  wide.n_node = 6;
+  EXPECT_LT(core::AnalyticModel(narrow).cost_erasure_unit() -
+                narrow.c,  // strip the shared transfer term
+            core::AnalyticModel(wide).cost_erasure_unit() - wide.c);
+
+  SimTime k3 = one_put(std::make_unique<resilience::ErasureScheme>(3, 1));
+  SimTime k6 = one_put(std::make_unique<resilience::ErasureScheme>(6, 2));
+  EXPECT_LT(k3, k6);
+}
+
+}  // namespace
+}  // namespace corec

@@ -1,0 +1,138 @@
+// Analytic model of Section II-D (the Figure 4 curves).
+#include "core/model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace corec::core {
+namespace {
+
+ModelParams paper_params() {
+  ModelParams p;
+  p.n_level = 1;
+  p.n_node = 3;  // RS(4,3) in the paper's Fig. 4 caption: n=4, k=3
+  p.S = 0.67;
+  return p;
+}
+
+TEST(AnalyticModel, UnitCostsOrdered) {
+  AnalyticModel m(paper_params());
+  EXPECT_GT(m.cost_erasure_unit(), m.cost_replica_unit());
+}
+
+TEST(AnalyticModel, EfficiencyFormulas) {
+  AnalyticModel m(paper_params());
+  EXPECT_DOUBLE_EQ(m.efficiency_replication(), 0.5);
+  EXPECT_DOUBLE_EQ(m.efficiency_erasure(), 0.75);
+  // Mixed efficiency interpolates between the two.
+  EXPECT_DOUBLE_EQ(m.efficiency_mixed(1.0), 0.5);
+  EXPECT_DOUBLE_EQ(m.efficiency_mixed(0.0), 0.75);
+  double mid = m.efficiency_mixed(0.5);
+  EXPECT_GT(mid, 0.5);
+  EXPECT_LT(mid, 0.75);
+}
+
+TEST(AnalyticModel, ConstraintPrMatchesClosedForm) {
+  AnalyticModel m(paper_params());
+  double pr = m.p_r_at_constraint();
+  EXPECT_NEAR(pr, 0.2388, 0.001);
+  // At that P_r, the mixed efficiency equals S.
+  EXPECT_NEAR(m.efficiency_mixed(pr), 0.67, 1e-9);
+}
+
+TEST(AnalyticModel, CostsIncreaseWithHotFraction) {
+  AnalyticModel m(paper_params());
+  for (double ph = 0.1; ph < 1.0; ph += 0.1) {
+    EXPECT_GT(m.cost_replication(ph), m.cost_replication(ph - 0.1));
+    EXPECT_GT(m.cost_erasure(ph), m.cost_erasure(ph - 0.1));
+    EXPECT_GT(m.cost_corec(ph), m.cost_corec(ph - 0.1));
+  }
+}
+
+TEST(AnalyticModel, Figure4Orderings) {
+  // Replication <= CoREC and hybrid <= erasure everywhere; CoREC beats
+  // the random hybrid once a meaningful hot fraction exists (below
+  // ~3% hot data both schemes serve almost-only cold traffic and the
+  // curves touch — Marker 1 in Fig. 4).
+  AnalyticModel m(paper_params());
+  for (double ph = 0.0; ph <= 1.0001; ph += 0.05) {
+    double cr = m.cost_replication(ph);
+    double cc = m.cost_corec(ph);
+    double ch = m.cost_hybrid(ph);
+    double ce = m.cost_erasure(ph);
+    EXPECT_LE(cr, cc * (1 + 1e-9)) << "ph=" << ph;
+    EXPECT_LE(ch, ce * (1 + 1e-9)) << "ph=" << ph;
+    if (ph >= 0.05) {
+      EXPECT_LE(cc, ch * (1 + 1e-9)) << "ph=" << ph;
+    }
+  }
+  // At ph=0 the gap between CoREC and hybrid is small relative to the
+  // full-scale costs.
+  double scale = m.cost_erasure(1.0);
+  EXPECT_LT((m.cost_corec(0.0) - m.cost_hybrid(0.0)) / scale, 0.02);
+}
+
+TEST(AnalyticModel, AllColdEqualsCosts) {
+  // Marker 1 in Fig. 4: with no hot data, CoREC's cost approaches the
+  // all-cold erasure cost (every object encoded).
+  AnalyticModel m(paper_params());
+  EXPECT_NEAR(m.cost_corec(0.0), m.cost_erasure(0.0), 1e-9);
+}
+
+TEST(AnalyticModel, KneeAtConstraint) {
+  // Below P_r the CoREC curve tracks replication-speed updates for hot
+  // data; above it, the marginal cost of extra hot data jumps to the
+  // erasure slope. Check the slope change around the knee.
+  AnalyticModel m(paper_params());
+  double pr = m.p_r_at_constraint();
+  double eps = 0.01;
+  double slope_below =
+      (m.cost_corec(pr - eps) - m.cost_corec(pr - 2 * eps)) / eps;
+  double slope_above =
+      (m.cost_corec(pr + 2 * eps) - m.cost_corec(pr + eps)) / eps;
+  EXPECT_GT(slope_above, slope_below * 1.5);
+}
+
+TEST(AnalyticModel, MissRatioDegradesCorec) {
+  ModelParams p = paper_params();
+  p.r_m = 0.0;
+  AnalyticModel perfect(p);
+  p.r_m = 0.2;
+  AnalyticModel sloppy(p);
+  for (double ph : {0.05, 0.1, 0.2}) {
+    EXPECT_GT(sloppy.cost_corec(ph), perfect.cost_corec(ph))
+        << "ph=" << ph;
+  }
+  // Fully wrong classifier behaves like erasure coding below the knee.
+  p.r_m = 1.0;
+  AnalyticModel blind(p);
+  EXPECT_NEAR(blind.cost_corec(0.1), blind.cost_erasure(0.1), 1e-9);
+}
+
+TEST(AnalyticModel, GainFormula) {
+  // Eq. (6): gain maximal at p_h = 0.5, zero at the extremes.
+  AnalyticModel m(paper_params());
+  EXPECT_NEAR(m.gain(0.0), 0.0, 1e-12);
+  EXPECT_NEAR(m.gain(1.0), 0.0, 1e-12);
+  EXPECT_GT(m.gain(0.5), m.gain(0.25));
+  EXPECT_GT(m.gain(0.5), m.gain(0.75));
+  // Gain grows with the frequency contrast and workload size.
+  ModelParams p2 = paper_params();
+  p2.f_h = 100.0;
+  EXPECT_GT(AnalyticModel(p2).gain(0.5), m.gain(0.5));
+  p2 = paper_params();
+  p2.n_objects = 10.0;
+  EXPECT_GT(AnalyticModel(p2).gain(0.5), m.gain(0.5));
+}
+
+TEST(AnalyticModel, CorecBoundedByPureSchemes) {
+  // CoREC never beats pure replication and never loses to pure erasure
+  // (perfect classifier).
+  AnalyticModel m(paper_params());
+  for (double ph = 0.0; ph <= 1.0001; ph += 0.1) {
+    EXPECT_GE(m.cost_corec(ph), m.cost_replication(ph) - 1e-9);
+    EXPECT_LE(m.cost_corec(ph), m.cost_erasure(ph) + 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace corec::core

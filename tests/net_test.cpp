@@ -1,0 +1,185 @@
+// Topology, ring ordering, cost model, queueing, failure injection.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "net/cost_model.hpp"
+#include "net/failure.hpp"
+#include "net/queueing.hpp"
+#include "net/topology.hpp"
+
+namespace corec::net {
+namespace {
+
+TEST(Topology, LocationsDense) {
+  Topology t(2, 3, 2);  // 12 servers
+  EXPECT_EQ(t.num_servers(), 12u);
+  EXPECT_EQ(t.location(0).cabinet, 0u);
+  EXPECT_EQ(t.location(0).node, 0u);
+  EXPECT_EQ(t.location(5).cabinet, 0u);
+  EXPECT_EQ(t.location(5).node, 2u);
+  EXPECT_EQ(t.location(6).cabinet, 1u);
+  EXPECT_EQ(t.location(11).node, 2u);
+}
+
+TEST(Topology, SameCabinetAndNode) {
+  Topology t(2, 2, 2);
+  EXPECT_TRUE(t.same_node(0, 1));
+  EXPECT_FALSE(t.same_node(1, 2));
+  EXPECT_TRUE(t.same_cabinet(0, 3));
+  EXPECT_FALSE(t.same_cabinet(3, 4));
+}
+
+TEST(Topology, RingIsPermutation) {
+  Topology t(4, 2, 1);
+  auto ring = t.make_ring();
+  std::set<ServerId> unique(ring.begin(), ring.end());
+  EXPECT_EQ(unique.size(), t.num_servers());
+}
+
+TEST(Topology, RingAlternatesCabinets) {
+  // Section III-A: any window of up to num_cabinets consecutive ring
+  // positions must touch distinct cabinets.
+  Topology t(4, 2, 1);
+  auto ring = t.make_ring();
+  for (std::size_t i = 0; i < ring.size(); ++i) {
+    std::set<std::uint32_t> cabinets;
+    for (std::size_t w = 0; w < t.num_cabinets(); ++w) {
+      cabinets.insert(
+          t.location(ring[(i + w) % ring.size()]).cabinet);
+    }
+    EXPECT_EQ(cabinets.size(), t.num_cabinets()) << "window at " << i;
+  }
+}
+
+TEST(Topology, RingPairsOnDistinctNodes) {
+  // Consecutive positions must never share a node when the cluster has
+  // more than one node.
+  Topology t(2, 4, 2);
+  auto ring = t.make_ring();
+  for (std::size_t i = 0; i + 1 < ring.size(); ++i) {
+    EXPECT_FALSE(t.same_node(ring[i], ring[i + 1])) << "at " << i;
+  }
+}
+
+TEST(Topology, FlatFactory) {
+  Topology t = Topology::flat(8, 4);
+  EXPECT_EQ(t.num_servers(), 8u);
+  EXPECT_EQ(t.num_cabinets(), 4u);
+}
+
+TEST(CostModel, TransferScalesWithBytes) {
+  CostModel cost;
+  SimTime small = cost.transfer_time(1024);
+  SimTime large = cost.transfer_time(1024 * 1024);
+  EXPECT_GT(large, small);
+  EXPECT_GE(small, cost.link_latency);
+  // 1 MiB at 5 GB/s ~= 200 us of serialization.
+  EXPECT_NEAR(to_micros(large - cost.link_latency), 209.7, 10.0);
+}
+
+TEST(CostModel, EncodeScalesWithGeometry) {
+  CostModel cost;
+  EXPECT_GT(cost.encode_time(6, 2, 1 << 20),
+            cost.encode_time(3, 1, 1 << 20));
+  EXPECT_EQ(cost.encode_time(3, 1, 0), 0);
+  EXPECT_GT(cost.decode_time(3, 2, 1 << 20),
+            cost.decode_time(3, 1, 1 << 20));
+}
+
+TEST(CostModel, PfsSlowerThanFabric) {
+  CostModel cost;
+  EXPECT_GT(cost.pfs_write_time(1 << 20), cost.transfer_time(1 << 20));
+}
+
+TEST(CostModel, CalibrationReturnsPlausibleRate) {
+  double rate = calibrate_encode_rate(1 << 16);
+  EXPECT_GT(rate, 1e7);   // at least 10 MB/s even on tiny machines
+  EXPECT_LT(rate, 1e12);  // and below 1 TB/s
+}
+
+TEST(ServiceQueue, SerializesOverlappingRequests) {
+  ServiceQueue q;
+  EXPECT_EQ(q.serve(100, 50), 150);
+  EXPECT_EQ(q.serve(100, 50), 200);  // queued behind the first
+  EXPECT_EQ(q.serve(500, 10), 510);  // idle gap before this one
+  EXPECT_EQ(q.served(), 3u);
+  EXPECT_EQ(q.busy_time(), 110);
+}
+
+TEST(ServiceQueue, BacklogReflectsOutstandingWork) {
+  ServiceQueue q;
+  q.serve(0, 1000);
+  EXPECT_EQ(q.backlog(200), 800);
+  EXPECT_EQ(q.backlog(1000), 0);
+  EXPECT_EQ(q.backlog(5000), 0);
+}
+
+TEST(ServiceQueue, ResetClearsHorizon) {
+  ServiceQueue q;
+  q.serve(0, 1000);
+  q.reset(100);
+  EXPECT_EQ(q.serve(100, 10), 110);
+}
+
+TEST(FailureInjector, ScriptedEventsFireInOrder) {
+  sim::Simulation sim;
+  std::vector<std::pair<char, ServerId>> log;
+  FailureInjector injector(
+      &sim, [&](ServerId s) { log.push_back({'F', s}); },
+      [&](ServerId s) { log.push_back({'R', s}); });
+  injector.schedule_all({
+      {from_seconds(1.0), 2, FailureEvent::Kind::kFail},
+      {from_seconds(2.0), 2, FailureEvent::Kind::kReplace},
+      {from_seconds(1.5), 5, FailureEvent::Kind::kFail},
+  });
+  sim.run();
+  ASSERT_EQ(log.size(), 3u);
+  EXPECT_EQ(log[0], std::make_pair('F', ServerId{2}));
+  EXPECT_EQ(log[1], std::make_pair('F', ServerId{5}));
+  EXPECT_EQ(log[2], std::make_pair('R', ServerId{2}));
+}
+
+TEST(FailureInjector, MtbfProcessGeneratesPairs) {
+  sim::Simulation sim;
+  int fails = 0, replaces = 0;
+  FailureInjector injector(
+      &sim, [&](ServerId) { ++fails; }, [&](ServerId) { ++replaces; });
+  Rng rng(42);
+  auto script = injector.schedule_mtbf(
+      /*mtbf_seconds=*/10.0, 0, from_seconds(200.0),
+      /*num_servers=*/8, from_seconds(1.0), &rng);
+  sim.run();
+  EXPECT_EQ(fails, replaces);
+  EXPECT_EQ(script.size(), static_cast<std::size_t>(fails + replaces));
+  EXPECT_GT(fails, 5);   // ~20 expected
+  EXPECT_LT(fails, 60);
+  for (const auto& e : script) {
+    EXPECT_LT(e.server, 8u);
+  }
+}
+
+TEST(FailureInjector, MtbfDeterministicUnderSeed) {
+  auto gen = [](std::uint64_t seed) {
+    sim::Simulation sim;
+    FailureInjector injector(&sim, [](ServerId) {}, [](ServerId) {});
+    Rng rng(seed);
+    return injector.schedule_mtbf(5.0, 0, from_seconds(100.0), 4,
+                                  from_seconds(0.5), &rng);
+  };
+  auto a = gen(7), b = gen(7), c = gen(8);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].time, b[i].time);
+    EXPECT_EQ(a[i].server, b[i].server);
+  }
+  EXPECT_NE(a.size(), 0u);
+  bool different = a.size() != c.size();
+  for (std::size_t i = 0; !different && i < a.size(); ++i) {
+    different = a[i].time != c[i].time;
+  }
+  EXPECT_TRUE(different);
+}
+
+}  // namespace
+}  // namespace corec::net

@@ -1,0 +1,195 @@
+// Virtual-time cost semantics of the staging service: proportional
+// reads, phantom/real equivalence, memory budgets, queue interference,
+// and the directory's fragment-cap fallback.
+#include <gtest/gtest.h>
+
+#include "resilience/schemes.hpp"
+#include "staging/service.hpp"
+
+namespace corec::staging {
+namespace {
+
+using resilience::ErasureScheme;
+using resilience::NoneScheme;
+using resilience::ReplicationScheme;
+
+ServiceOptions options_8() {
+  ServiceOptions opts;
+  opts.topology = net::Topology(4, 2, 1);
+  opts.domain = geom::BoundingBox::cube(0, 0, 0, 31, 31, 31);
+  opts.fit.element_size = 8;
+  opts.fit.target_bytes = 1u << 20;  // one piece per put in these tests
+  return opts;
+}
+
+Bytes pattern(const geom::BoundingBox& box, std::size_t elem) {
+  Bytes b(static_cast<std::size_t>(box.volume()) * elem);
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    b[i] = static_cast<std::uint8_t>(i * 31 + 7);
+  }
+  return b;
+}
+
+TEST(ServiceCost, SubRegionReadsCostLessThanFullReads) {
+  sim::Simulation sim;
+  StagingService svc(options_8(), &sim, std::make_unique<NoneScheme>());
+  // 32^3 x 8 B = 256 KiB: large enough that byte-proportional costs
+  // dominate the fixed per-request latencies.
+  auto box = geom::BoundingBox::cube(0, 0, 0, 31, 31, 31);
+  ASSERT_TRUE(svc.put(1, 0, box, pattern(box, 8)).status.ok());
+
+  // Quiesce between operations so responses measure service cost, not
+  // queueing behind the previous op.
+  Bytes out;
+  sim.run_until(sim.now() + from_seconds(0.01));
+  OpResult full = svc.get(1, 0, box, &out);
+  sim.run_until(sim.now() + from_seconds(0.01));
+  OpResult small = svc.get(
+      1, 0, geom::BoundingBox::cube(0, 0, 0, 3, 3, 3), &out);
+  ASSERT_TRUE(full.status.ok());
+  ASSERT_TRUE(small.status.ok());
+  // 1/512 of the volume: transfer+copy shrink accordingly (not 512x —
+  // fixed per-request latencies remain).
+  EXPECT_LT(small.response_time(), full.response_time() / 4);
+}
+
+TEST(ServiceCost, PhantomAndRealChargeIdenticalVirtualTime) {
+  auto run = [](bool phantom) {
+    sim::Simulation sim;
+    StagingService svc(options_8(), &sim,
+                       std::make_unique<ReplicationScheme>(1));
+    auto box = geom::BoundingBox::cube(0, 0, 0, 15, 15, 15);
+    OpResult put = phantom ? svc.put_phantom(1, 0, box)
+                           : svc.put(1, 0, box, pattern(box, 8));
+    OpResult get = svc.get(1, 0, box, nullptr);
+    return std::make_pair(put.response_time(), get.response_time());
+  };
+  auto [pw, pr] = run(true);
+  auto [rw, rr] = run(false);
+  EXPECT_EQ(pw, rw);
+  EXPECT_EQ(pr, rr);
+}
+
+TEST(ServiceCost, LargerPayloadsTakeLonger) {
+  sim::Simulation sim;
+  StagingService svc(options_8(), &sim, std::make_unique<NoneScheme>());
+  auto small_box = geom::BoundingBox::cube(0, 0, 0, 7, 7, 7);
+  auto big_box = geom::BoundingBox::cube(16, 16, 16, 31, 31, 31);
+  OpResult small = svc.put_phantom(1, 0, small_box);
+  OpResult big = svc.put_phantom(1, 0, big_box);
+  ASSERT_TRUE(small.status.ok());
+  ASSERT_TRUE(big.status.ok());
+  EXPECT_GT(big.response_time(), small.response_time());
+}
+
+TEST(ServiceCost, ErasureWriteChargesEncodeInBreakdown) {
+  sim::Simulation sim;
+  StagingService svc(options_8(), &sim,
+                     std::make_unique<ErasureScheme>(3, 1));
+  auto box = geom::BoundingBox::cube(0, 0, 0, 15, 15, 15);
+  OpResult res = svc.put_phantom(1, 0, box);
+  ASSERT_TRUE(res.status.ok());
+  EXPECT_GT(res.breakdown.encode, 0);
+  EXPECT_GT(res.breakdown.transport, 0);
+  EXPECT_GT(res.breakdown.metadata, 0);
+  EXPECT_EQ(res.breakdown.decode, 0);
+}
+
+TEST(ServiceCost, DegradedReadChargesDecode) {
+  sim::Simulation sim;
+  StagingService svc(options_8(), &sim,
+                     std::make_unique<ErasureScheme>(3, 1));
+  auto box = geom::BoundingBox::cube(0, 0, 0, 15, 15, 15);
+  ASSERT_TRUE(svc.put_phantom(1, 0, box).status.ok());
+  const auto* entity = svc.directory().find_entity(1, box);
+  ASSERT_NE(entity, nullptr);
+  svc.kill_server(svc.directory().find(*entity)->stripe_servers[0]);
+  OpResult res = svc.get(1, 0, box, nullptr);
+  ASSERT_TRUE(res.status.ok());
+  EXPECT_GT(res.breakdown.decode, 0);
+}
+
+TEST(ServiceCost, ServerCapacityRejectsOverflow) {
+  auto opts = options_8();
+  opts.server_capacity = 1024;  // 1 KiB per server
+  sim::Simulation sim;
+  StagingService svc(opts, &sim, std::make_unique<NoneScheme>());
+  // An 8^3 x 8B = 4 KiB object cannot fit anywhere.
+  auto box = geom::BoundingBox::cube(0, 0, 0, 7, 7, 7);
+  OpResult res = svc.put_phantom(1, 0, box);
+  EXPECT_EQ(res.status.code(), StatusCode::kResourceExhausted);
+  for (ServerId s = 0; s < svc.num_servers(); ++s) {
+    EXPECT_LE(svc.server(s).store.total_bytes(), opts.server_capacity);
+  }
+}
+
+TEST(ServiceCost, IncrementalStoredBytesMatchesRecomputed) {
+  sim::Simulation sim;
+  StagingService svc(options_8(), &sim,
+                     std::make_unique<ReplicationScheme>(1));
+  auto blocks = geom::regular_decomposition(options_8().domain,
+                                            {2, 2, 2});
+  for (Version v = 0; v < 3; ++v) {
+    for (const auto& b : blocks) {
+      ASSERT_TRUE(svc.put_phantom(1, v, b).status.ok());
+    }
+  }
+  EXPECT_EQ(svc.stored_bytes(), svc.stored_bytes_recomputed());
+  svc.kill_server(2);
+  EXPECT_EQ(svc.stored_bytes(), svc.stored_bytes_recomputed());
+  svc.replace_server(2);
+  EXPECT_EQ(svc.stored_bytes(), svc.stored_bytes_recomputed());
+}
+
+TEST(ServiceCost, ReadLoadBalancesAcrossReplicas) {
+  sim::Simulation sim;
+  StagingService svc(options_8(), &sim,
+                     std::make_unique<ReplicationScheme>(1));
+  auto box = geom::BoundingBox::cube(0, 0, 0, 15, 15, 15);
+  ASSERT_TRUE(svc.put_phantom(1, 0, box).status.ok());
+  const auto* entity = svc.directory().find_entity(1, box);
+  ASSERT_NE(entity, nullptr);
+  auto loc = *svc.directory().find(*entity);
+  // Two back-to-back reads at the same instant must use both copies:
+  // the second is NOT strictly slower by a full service time.
+  OpResult r1 = svc.get(1, 0, box, nullptr);
+  OpResult r2 = svc.get(1, 0, box, nullptr);
+  ASSERT_TRUE(r1.status.ok());
+  ASSERT_TRUE(r2.status.ok());
+  EXPECT_LT(r2.response_time(),
+            r1.response_time() + r1.response_time() / 2);
+  // Both holders served something.
+  EXPECT_GT(svc.server(loc.primary).queue.served(), 0u);
+  EXPECT_GT(svc.server(loc.replicas[0]).queue.served(), 0u);
+}
+
+TEST(ServiceCost, QueryLatestFragmentCapFallbackStillCorrect) {
+  // Hundreds of small overlapping writes exceed the subtraction cap;
+  // the include-all fallback plus oldest-first assembly must still
+  // produce the newest bytes everywhere.
+  auto opts = options_8();
+  opts.fit.element_size = 1;
+  opts.domain = geom::BoundingBox::cube(0, 0, 0, 127, 127, 0);
+  sim::Simulation sim;
+  StagingService svc(opts, &sim, std::make_unique<NoneScheme>());
+
+  // Base layer at version 0.
+  auto base = geom::BoundingBox::cube(0, 0, 0, 127, 127, 0);
+  Bytes v0(static_cast<std::size_t>(base.volume()), 0xAA);
+  ASSERT_TRUE(svc.put(1, 0, base, v0).status.ok());
+  // 256 small overwrites at version 1 in a 16x16 grid.
+  auto cells = geom::regular_decomposition(base, {16, 16, 1});
+  for (const auto& c : cells) {
+    Bytes v1(static_cast<std::size_t>(c.volume()), 0xBB);
+    ASSERT_TRUE(svc.put(1, 1, c, v1).status.ok());
+  }
+  Bytes out;
+  OpResult res = svc.get(1, 1, base, &out);
+  ASSERT_TRUE(res.status.ok());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    ASSERT_EQ(out[i], 0xBB) << "stale byte at " << i;
+  }
+}
+
+}  // namespace
+}  // namespace corec::staging

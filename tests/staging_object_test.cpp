@@ -1,0 +1,200 @@
+// Object model, object store accounting, hyperslab copies.
+#include <gtest/gtest.h>
+
+#include "staging/hyperslab.hpp"
+#include "staging/object.hpp"
+#include "staging/object_store.hpp"
+
+namespace corec::staging {
+namespace {
+
+ObjectDescriptor desc(VarId var, Version v, geom::Coord lo,
+                      geom::Coord hi) {
+  return {var, v, geom::BoundingBox::line(lo, hi), kWholeObject};
+}
+
+TEST(ObjectDescriptor, EqualityAndHash) {
+  auto a = desc(1, 2, 0, 7);
+  auto b = desc(1, 2, 0, 7);
+  auto c = desc(1, 3, 0, 7);
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);
+  DescriptorHash h;
+  EXPECT_EQ(h(a), h(b));
+  EXPECT_NE(h(a), h(c));  // overwhelmingly likely
+}
+
+TEST(ObjectDescriptor, ShardsDistinct) {
+  auto base = desc(1, 2, 0, 7);
+  auto s1 = base.shard_of(1);
+  auto s2 = base.shard_of(2);
+  EXPECT_FALSE(s1 == s2);
+  EXPECT_FALSE(s1 == base);
+  EXPECT_EQ(s1.base(), base);
+  EXPECT_EQ(s2.base(), base);
+}
+
+TEST(DataObject, RealAndPhantom) {
+  auto d = desc(1, 0, 0, 3);
+  auto real = DataObject::real(d, Bytes{1, 2, 3, 4});
+  EXPECT_FALSE(real.phantom);
+  EXPECT_EQ(real.logical_size, 4u);
+  auto ph = DataObject::make_phantom(d, 4096);
+  EXPECT_TRUE(ph.phantom);
+  EXPECT_EQ(ph.logical_size, 4096u);
+  EXPECT_TRUE(ph.data.empty());
+}
+
+TEST(ObjectStore, PutFindErase) {
+  ObjectStore store;
+  auto d = desc(1, 0, 0, 3);
+  ASSERT_TRUE(store.put(DataObject::real(d, Bytes{9, 9, 9, 9}),
+                        StoredKind::kPrimary)
+                  .ok());
+  ASSERT_TRUE(store.contains(d));
+  const StoredObject* found = store.find(d);
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->kind, StoredKind::kPrimary);
+  EXPECT_EQ(found->object.data[0], 9);
+  EXPECT_TRUE(store.erase(d));
+  EXPECT_FALSE(store.contains(d));
+  EXPECT_FALSE(store.erase(d));
+}
+
+TEST(ObjectStore, ByteAccountingPerKind) {
+  ObjectStore store;
+  ASSERT_TRUE(store.put(DataObject::make_phantom(desc(1, 0, 0, 3), 100),
+                        StoredKind::kPrimary)
+                  .ok());
+  ASSERT_TRUE(store.put(DataObject::make_phantom(desc(1, 0, 4, 7), 50),
+                        StoredKind::kReplica)
+                  .ok());
+  ASSERT_TRUE(store.put(DataObject::make_phantom(desc(2, 0, 0, 3), 25),
+                        StoredKind::kParity)
+                  .ok());
+  EXPECT_EQ(store.total_bytes(), 175u);
+  EXPECT_EQ(store.bytes_of(StoredKind::kPrimary), 100u);
+  EXPECT_EQ(store.bytes_of(StoredKind::kReplica), 50u);
+  EXPECT_EQ(store.bytes_of(StoredKind::kParity), 25u);
+  EXPECT_EQ(store.count(), 3u);
+}
+
+TEST(ObjectStore, OverwriteAdjustsAccounting) {
+  ObjectStore store;
+  auto d = desc(1, 0, 0, 3);
+  ASSERT_TRUE(store.put(DataObject::make_phantom(d, 100),
+                        StoredKind::kPrimary)
+                  .ok());
+  ASSERT_TRUE(store.put(DataObject::make_phantom(d, 40),
+                        StoredKind::kReplica)
+                  .ok());
+  EXPECT_EQ(store.count(), 1u);
+  EXPECT_EQ(store.total_bytes(), 40u);
+  EXPECT_EQ(store.bytes_of(StoredKind::kPrimary), 0u);
+  EXPECT_EQ(store.bytes_of(StoredKind::kReplica), 40u);
+}
+
+TEST(ObjectStore, CapacityEnforced) {
+  ObjectStore store(100);
+  ASSERT_TRUE(store.put(DataObject::make_phantom(desc(1, 0, 0, 3), 80),
+                        StoredKind::kPrimary)
+                  .ok());
+  Status st = store.put(DataObject::make_phantom(desc(1, 0, 4, 7), 30),
+                        StoredKind::kPrimary);
+  EXPECT_EQ(st.code(), StatusCode::kResourceExhausted);
+  // Overwriting the existing entry with something that fits is fine.
+  ASSERT_TRUE(store.put(DataObject::make_phantom(desc(1, 0, 0, 3), 95),
+                        StoredKind::kPrimary)
+                  .ok());
+}
+
+TEST(ObjectStore, ClearResetsEverything) {
+  ObjectStore store;
+  ASSERT_TRUE(store.put(DataObject::make_phantom(desc(1, 0, 0, 3), 10),
+                        StoredKind::kPrimary)
+                  .ok());
+  store.clear();
+  EXPECT_EQ(store.count(), 0u);
+  EXPECT_EQ(store.total_bytes(), 0u);
+  EXPECT_EQ(store.bytes_of(StoredKind::kPrimary), 0u);
+}
+
+TEST(Hyperslab, ExtractAndCopyRegion2d) {
+  // Source: 4x4 grid with value = linear index.
+  auto src_box = geom::BoundingBox::rect(0, 0, 3, 3);
+  Bytes src(16);
+  for (std::size_t i = 0; i < 16; ++i) {
+    src[i] = static_cast<std::uint8_t>(i);
+  }
+  auto region = geom::BoundingBox::rect(1, 1, 2, 2);
+  auto extracted = extract_region(src, src_box, region, 1);
+  ASSERT_TRUE(extracted.ok());
+  EXPECT_EQ(extracted.value(), (Bytes{5, 6, 9, 10}));
+
+  // Paste back into a zeroed destination of the same domain.
+  Bytes dst(16, 0);
+  ASSERT_TRUE(copy_region(extracted.value(), region, MutableByteSpan(dst),
+                          src_box, region, 1)
+                  .ok());
+  EXPECT_EQ(dst[5], 5);
+  EXPECT_EQ(dst[6], 6);
+  EXPECT_EQ(dst[9], 9);
+  EXPECT_EQ(dst[10], 10);
+  EXPECT_EQ(dst[0], 0);
+}
+
+TEST(Hyperslab, MultiByteElements) {
+  auto src_box = geom::BoundingBox::rect(0, 0, 1, 1);
+  Bytes src{1, 2, 3, 4, 5, 6, 7, 8};  // 2x2 of uint16
+  auto region = geom::BoundingBox::rect(1, 0, 1, 1);
+  auto ext = extract_region(src, src_box, region, 2);
+  ASSERT_TRUE(ext.ok());
+  EXPECT_EQ(ext.value(), (Bytes{5, 6, 7, 8}));
+}
+
+TEST(Hyperslab, ThreeDimensionalRoundTrip) {
+  auto box = geom::BoundingBox::cube(0, 0, 0, 3, 3, 3);
+  Bytes src(64);
+  for (std::size_t i = 0; i < 64; ++i) {
+    src[i] = static_cast<std::uint8_t>(i * 3 + 1);
+  }
+  auto region = geom::BoundingBox::cube(1, 0, 2, 2, 3, 3);
+  auto ext = extract_region(src, box, region, 1);
+  ASSERT_TRUE(ext.ok());
+  Bytes dst(64, 0);
+  ASSERT_TRUE(copy_region(ext.value(), region, MutableByteSpan(dst), box,
+                          region, 1)
+                  .ok());
+  // Every point inside the region matches, everything else is zero.
+  for (geom::Coord x = 0; x < 4; ++x) {
+    for (geom::Coord y = 0; y < 4; ++y) {
+      for (geom::Coord z = 0; z < 4; ++z) {
+        geom::Point p{x, y, z};
+        auto off = geom::linear_offset(box, p);
+        if (region.contains(p)) {
+          EXPECT_EQ(dst[off], src[off]);
+        } else {
+          EXPECT_EQ(dst[off], 0);
+        }
+      }
+    }
+  }
+}
+
+TEST(Hyperslab, RegionOutsideBoxRejected) {
+  auto box = geom::BoundingBox::rect(0, 0, 3, 3);
+  Bytes src(16);
+  auto bad = geom::BoundingBox::rect(2, 2, 5, 5);
+  EXPECT_FALSE(extract_region(src, box, bad, 1).ok());
+}
+
+TEST(Hyperslab, UndersizedBufferRejected) {
+  auto box = geom::BoundingBox::rect(0, 0, 3, 3);
+  Bytes src(8);  // needs 16
+  EXPECT_FALSE(
+      extract_region(src, box, geom::BoundingBox::rect(0, 0, 1, 1), 1)
+          .ok());
+}
+
+}  // namespace
+}  // namespace corec::staging

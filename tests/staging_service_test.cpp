@@ -1,0 +1,305 @@
+// StagingService end-to-end behaviour on small real-payload domains:
+// put/get round trips, Algorithm-1 fitting, entity updates, routing,
+// degraded reads, and storage accounting per scheme.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "resilience/schemes.hpp"
+#include "staging/hyperslab.hpp"
+#include "staging/service.hpp"
+
+namespace corec::staging {
+namespace {
+
+using resilience::ErasureScheme;
+using resilience::NoneScheme;
+using resilience::ReplicationScheme;
+
+ServiceOptions small_options() {
+  ServiceOptions opts;
+  opts.topology = net::Topology(4, 2, 1);  // 8 servers, 4 cabinets
+  opts.domain = geom::BoundingBox::cube(0, 0, 0, 31, 31, 31);
+  opts.fit.element_size = 1;
+  opts.fit.target_bytes = 1024;  // force fitting of 16^3 = 4096-byte blocks
+  return opts;
+}
+
+Bytes pattern_for(const geom::BoundingBox& box, std::uint8_t salt) {
+  Bytes b(static_cast<std::size_t>(box.volume()));
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    b[i] = static_cast<std::uint8_t>(salt + i * 7);
+  }
+  return b;
+}
+
+struct ServiceFixture {
+  explicit ServiceFixture(std::unique_ptr<ResilienceScheme> scheme,
+                          ServiceOptions opts = small_options())
+      : service(std::move(opts), &sim, std::move(scheme)) {}
+  sim::Simulation sim;
+  StagingService service;
+};
+
+TEST(StagingService, PutGetRoundTripExactBytes) {
+  ServiceFixture f(std::make_unique<NoneScheme>());
+  auto box = geom::BoundingBox::cube(0, 0, 0, 15, 15, 15);
+  Bytes payload = pattern_for(box, 3);
+  OpResult put = f.service.put(1, 0, box, payload);
+  ASSERT_TRUE(put.status.ok()) << put.status.to_string();
+  EXPECT_GT(put.response_time(), 0);
+
+  Bytes out;
+  OpResult get = f.service.get(1, 0, box, &out);
+  ASSERT_TRUE(get.status.ok()) << get.status.to_string();
+  EXPECT_EQ(out, payload);
+  EXPECT_GT(get.response_time(), 0);
+}
+
+TEST(StagingService, SubRegionRead) {
+  ServiceFixture f(std::make_unique<NoneScheme>());
+  auto box = geom::BoundingBox::cube(0, 0, 0, 15, 15, 15);
+  Bytes payload = pattern_for(box, 11);
+  ASSERT_TRUE(f.service.put(1, 0, box, payload).status.ok());
+
+  auto sub = geom::BoundingBox::cube(4, 4, 4, 11, 11, 11);
+  Bytes out;
+  ASSERT_TRUE(f.service.get(1, 0, sub, &out).status.ok());
+  auto expected = extract_region(payload, box, sub, 1);
+  ASSERT_TRUE(expected.ok());
+  EXPECT_EQ(out, expected.value());
+}
+
+TEST(StagingService, FittingSplitsLargeObjects) {
+  ServiceFixture f(std::make_unique<NoneScheme>());
+  auto box = geom::BoundingBox::cube(0, 0, 0, 15, 15, 15);  // 4 KiB
+  ASSERT_TRUE(f.service.put(1, 0, box, pattern_for(box, 1)).status.ok());
+  // target 1 KiB -> at least 4 pieces registered.
+  EXPECT_GE(f.service.directory().size(), 4u);
+}
+
+TEST(StagingService, EntityUpdateReplacesOldVersion) {
+  ServiceFixture f(std::make_unique<NoneScheme>());
+  auto box = geom::BoundingBox::cube(0, 0, 0, 7, 7, 7);
+  Bytes v0 = pattern_for(box, 1);
+  Bytes v3 = pattern_for(box, 200);
+  ASSERT_TRUE(f.service.put(1, 0, box, v0).status.ok());
+  std::size_t after_first = f.service.directory().size();
+  ASSERT_TRUE(f.service.put(1, 3, box, v3).status.ok());
+  EXPECT_EQ(f.service.directory().size(), after_first);  // no growth
+
+  Bytes out;
+  ASSERT_TRUE(f.service.get(1, 3, box, &out).status.ok());
+  EXPECT_EQ(out, v3);
+  // A read as of version 0 no longer sees the overwritten entity.
+  OpResult old_read = f.service.get(1, 0, box, &out);
+  EXPECT_FALSE(old_read.status.ok());
+}
+
+TEST(StagingService, ReadOfUnwrittenRegionIsNotFound) {
+  ServiceFixture f(std::make_unique<NoneScheme>());
+  Bytes out;
+  OpResult res = f.service.get(
+      1, 0, geom::BoundingBox::cube(0, 0, 0, 3, 3, 3), &out);
+  EXPECT_EQ(res.status.code(), StatusCode::kNotFound);
+}
+
+TEST(StagingService, RoutingIsDeterministicAndSpreads) {
+  ServiceFixture f(std::make_unique<NoneScheme>());
+  auto blocks = geom::regular_decomposition(small_options().domain,
+                                            {4, 4, 4});
+  std::set<ServerId> used;
+  for (const auto& b : blocks) {
+    ServerId s = f.service.route(b);
+    EXPECT_EQ(s, f.service.route(b));
+    used.insert(s);
+  }
+  // 64 blocks over 8 servers: all servers should receive some data.
+  EXPECT_EQ(used.size(), f.service.num_servers());
+}
+
+TEST(StagingService, PhantomPutGet) {
+  ServiceFixture f(std::make_unique<NoneScheme>());
+  auto box = geom::BoundingBox::cube(0, 0, 0, 15, 15, 15);
+  OpResult put = f.service.put_phantom(1, 0, box);
+  ASSERT_TRUE(put.status.ok());
+  EXPECT_EQ(f.service.logical_bytes(), box.volume());
+  OpResult get = f.service.get(1, 0, box, nullptr);
+  ASSERT_TRUE(get.status.ok());
+  EXPECT_GT(get.response_time(), 0);
+}
+
+TEST(StagingService, NoneSchemeLosesDataOnFailure) {
+  ServiceFixture f(std::make_unique<NoneScheme>());
+  auto box = geom::BoundingBox::cube(0, 0, 0, 7, 7, 7);
+  ASSERT_TRUE(f.service.put(1, 0, box, pattern_for(box, 5)).status.ok());
+  ServerId victim = f.service.route(box);
+  f.service.kill_server(victim);
+  Bytes out;
+  OpResult res = f.service.get(1, 0, box, &out);
+  EXPECT_EQ(res.status.code(), StatusCode::kDataLoss);
+}
+
+TEST(StagingService, ReplicationSurvivesPrimaryFailure) {
+  ServiceFixture f(std::make_unique<ReplicationScheme>(1));
+  auto box = geom::BoundingBox::cube(0, 0, 0, 15, 15, 15);
+  Bytes payload = pattern_for(box, 77);
+  ASSERT_TRUE(f.service.put(1, 0, box, payload).status.ok());
+
+  ServerId victim = f.service.route(box);
+  f.service.kill_server(victim);
+  Bytes out;
+  OpResult res = f.service.get(1, 0, box, &out);
+  ASSERT_TRUE(res.status.ok()) << res.status.to_string();
+  EXPECT_EQ(out, payload);
+}
+
+TEST(StagingService, ReplicationStorageEfficiencyHalf) {
+  ServiceFixture f(std::make_unique<ReplicationScheme>(1));
+  auto box = geom::BoundingBox::cube(0, 0, 0, 15, 15, 15);
+  ASSERT_TRUE(f.service.put(1, 0, box, pattern_for(box, 2)).status.ok());
+  EXPECT_NEAR(f.service.storage_efficiency(), 0.5, 0.01);
+}
+
+TEST(StagingService, ErasureStorageEfficiency) {
+  ServiceFixture f(std::make_unique<ErasureScheme>(3, 1));
+  auto box = geom::BoundingBox::cube(0, 0, 0, 15, 15, 15);
+  ASSERT_TRUE(f.service.put(1, 0, box, pattern_for(box, 2)).status.ok());
+  // k/(k+m) = 0.75, modulo chunk padding.
+  EXPECT_NEAR(f.service.storage_efficiency(), 0.75, 0.02);
+}
+
+TEST(StagingService, ErasureDegradedReadReconstructsExactly) {
+  ServiceFixture f(std::make_unique<ErasureScheme>(3, 1));
+  auto box = geom::BoundingBox::cube(0, 0, 0, 15, 15, 15);
+  Bytes payload = pattern_for(box, 123);
+  ASSERT_TRUE(f.service.put(1, 0, box, payload).status.ok());
+
+  Bytes baseline;
+  OpResult ok_read = f.service.get(1, 0, box, &baseline);
+  ASSERT_TRUE(ok_read.status.ok());
+  ASSERT_EQ(baseline, payload);
+
+  // Kill one stripe member of the first piece; the degraded read must
+  // still return the exact bytes (real Reed-Solomon decode on the read
+  // path).
+  ServerId victim = kInvalidServer;
+  f.service.directory().for_each(
+      [&](const ObjectDescriptor&, const ObjectLocation& loc) {
+        if (victim == kInvalidServer &&
+            loc.protection == Protection::kEncoded) {
+          victim = loc.stripe_servers[0];
+        }
+      });
+  ASSERT_NE(victim, kInvalidServer);
+  f.service.kill_server(victim);
+  Bytes out;
+  OpResult degraded = f.service.get(1, 0, box, &out);
+  ASSERT_TRUE(degraded.status.ok()) << degraded.status.to_string();
+  EXPECT_EQ(out, payload);
+  // Degraded reads are slower than healthy ones.
+  EXPECT_GT(degraded.response_time(), ok_read.response_time());
+}
+
+TEST(StagingService, ErasureDoubleFailureWithinToleranceM2) {
+  ServiceFixture f(std::make_unique<ErasureScheme>(2, 2));
+  auto box = geom::BoundingBox::cube(0, 0, 0, 15, 15, 15);
+  Bytes payload = pattern_for(box, 9);
+  ASSERT_TRUE(f.service.put(1, 0, box, payload).status.ok());
+  // Kill two stripe members of one fitted piece.
+  ObjectLocation piece_loc;
+  bool found = false;
+  f.service.directory().for_each(
+      [&](const ObjectDescriptor&, const ObjectLocation& loc) {
+        if (!found && loc.protection == Protection::kEncoded) {
+          piece_loc = loc;
+          found = true;
+        }
+      });
+  ASSERT_TRUE(found);
+  f.service.kill_server(piece_loc.stripe_servers[0]);
+  f.service.kill_server(piece_loc.stripe_servers[1]);
+  Bytes out;
+  OpResult res = f.service.get(1, 0, box, &out);
+  ASSERT_TRUE(res.status.ok()) << res.status.to_string();
+  EXPECT_EQ(out, payload);
+}
+
+TEST(StagingService, ErasureBeyondToleranceIsDataLoss) {
+  ServiceFixture f(std::make_unique<ErasureScheme>(3, 1));
+  auto box = geom::BoundingBox::cube(0, 0, 0, 15, 15, 15);
+  ASSERT_TRUE(f.service.put(1, 0, box, pattern_for(box, 4)).status.ok());
+  ObjectLocation piece_loc;
+  bool found = false;
+  f.service.directory().for_each(
+      [&](const ObjectDescriptor&, const ObjectLocation& loc) {
+        if (!found && loc.protection == Protection::kEncoded) {
+          piece_loc = loc;
+          found = true;
+        }
+      });
+  ASSERT_TRUE(found);
+  f.service.kill_server(piece_loc.stripe_servers[0]);
+  f.service.kill_server(piece_loc.stripe_servers[1]);
+  Bytes out;
+  OpResult res = f.service.get(1, 0, box, &out);
+  EXPECT_EQ(res.status.code(), StatusCode::kDataLoss);
+}
+
+TEST(StagingService, WritesRerouteAroundDeadPrimary) {
+  ServiceFixture f(std::make_unique<NoneScheme>());
+  auto box = geom::BoundingBox::cube(0, 0, 0, 7, 7, 7);
+  ServerId primary = f.service.route(box);
+  f.service.kill_server(primary);
+  Bytes payload = pattern_for(box, 66);
+  ASSERT_TRUE(f.service.put(1, 0, box, payload).status.ok());
+  Bytes out;
+  ASSERT_TRUE(f.service.get(1, 0, box, &out).status.ok());
+  EXPECT_EQ(out, payload);
+}
+
+TEST(StagingService, StripeMembersInDistinctCabinets) {
+  ServiceFixture f(std::make_unique<ErasureScheme>(3, 1));
+  auto box = geom::BoundingBox::cube(0, 0, 0, 7, 7, 7);
+  ASSERT_TRUE(f.service.put(1, 0, box, pattern_for(box, 1)).status.ok());
+  const auto* entity = f.service.directory().find_entity(1, box);
+  ASSERT_NE(entity, nullptr);
+  const auto* loc = f.service.directory().find(*entity);
+  ASSERT_NE(loc, nullptr);
+  std::set<std::uint32_t> cabinets;
+  for (ServerId s : loc->stripe_servers) {
+    cabinets.insert(f.service.topology().location(s).cabinet);
+  }
+  // 4 stripe members over 4 cabinets: all distinct (Section III-A).
+  EXPECT_EQ(cabinets.size(), loc->stripe_servers.size());
+}
+
+TEST(StagingService, ReplicaInDifferentCabinetThanPrimary) {
+  ServiceFixture f(std::make_unique<ReplicationScheme>(1));
+  auto box = geom::BoundingBox::cube(8, 8, 8, 15, 15, 15);
+  ASSERT_TRUE(f.service.put(1, 0, box, pattern_for(box, 1)).status.ok());
+  f.service.directory().for_each(
+      [&](const ObjectDescriptor&, const ObjectLocation& loc) {
+        for (ServerId r : loc.replicas) {
+          EXPECT_FALSE(
+              f.service.topology().same_cabinet(loc.primary, r));
+        }
+      });
+}
+
+TEST(StagingService, QueueingMakesConcurrentWritesSlower) {
+  ServiceFixture f(std::make_unique<NoneScheme>());
+  // Two writes to regions routed to the same primary: the second must
+  // complete later than an isolated write would.
+  auto box = geom::BoundingBox::cube(0, 0, 0, 7, 7, 7);
+  Bytes payload = pattern_for(box, 1);
+  OpResult first = f.service.put(1, 0, box, payload);
+  OpResult second = f.service.put(2, 0, box, payload);  // same box/route
+  ASSERT_TRUE(first.status.ok());
+  ASSERT_TRUE(second.status.ok());
+  EXPECT_GT(second.response_time(), first.response_time());
+}
+
+}  // namespace
+}  // namespace corec::staging

@@ -1,0 +1,147 @@
+// Multi-tier staging store (the paper's future-work prototype):
+// utility-based placement, spill, promotion-on-access, heat decay.
+#include "tier/tiered_store.hpp"
+
+#include <gtest/gtest.h>
+
+namespace corec::tier {
+namespace {
+
+staging::ObjectDescriptor obj(geom::Coord i) {
+  return {1, 0, geom::BoundingBox::line(i * 10, i * 10 + 9),
+          staging::kWholeObject};
+}
+
+std::vector<TierSpec> three_tiers(std::size_t mem, std::size_t nvram,
+                                  std::size_t ssd) {
+  return {memory_tier(mem), nvram_tier(nvram), ssd_tier(ssd)};
+}
+
+TEST(TieredStore, NewObjectsLandInMemory) {
+  TieredStore store(three_tiers(1000, 1000, 1000));
+  ASSERT_TRUE(store.put(obj(0), 400).ok());
+  auto t = store.tier_of(obj(0));
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t.value(), Tier::kMemory);
+  EXPECT_EQ(store.stats(Tier::kMemory).resident_bytes, 400u);
+}
+
+TEST(TieredStore, UtilityDecidesWhoKeepsTheFastTier) {
+  TieredStore store(three_tiers(1000, 1000, 1000));
+  // Hot resident, colder arrival: the arrival goes straight to NVRAM.
+  ASSERT_TRUE(store.put(obj(0), 600, /*heat=*/5.0).ok());
+  ASSERT_TRUE(store.put(obj(1), 600, /*heat=*/1.0).ok());
+  EXPECT_EQ(store.tier_of(obj(0)).value(), Tier::kMemory);
+  EXPECT_EQ(store.tier_of(obj(1)).value(), Tier::kNvram);
+
+  // Cold resident, hotter arrival: the resident spills down instead.
+  TieredStore store2(three_tiers(1000, 1000, 1000));
+  ASSERT_TRUE(store2.put(obj(0), 600, /*heat=*/1.0).ok());
+  ASSERT_TRUE(store2.put(obj(1), 600, /*heat=*/5.0).ok());
+  EXPECT_EQ(store2.tier_of(obj(0)).value(), Tier::kNvram);
+  EXPECT_EQ(store2.tier_of(obj(1)).value(), Tier::kMemory);
+  EXPECT_EQ(store2.stats(Tier::kNvram).spills_in, 1u);
+}
+
+TEST(TieredStore, CascadingSpillReachesSsd) {
+  TieredStore store(three_tiers(500, 500, 2000));
+  for (geom::Coord i = 0; i < 6; ++i) {
+    ASSERT_TRUE(store.put(obj(i), 400).ok());
+  }
+  // 6 x 400 B over 500/500/2000: memory 1, nvram 1, ssd 4.
+  EXPECT_EQ(store.stats(Tier::kMemory).resident_objects, 1u);
+  EXPECT_EQ(store.stats(Tier::kNvram).resident_objects, 1u);
+  EXPECT_EQ(store.stats(Tier::kSsd).resident_objects, 4u);
+}
+
+TEST(TieredStore, AllTiersFullIsResourceExhausted) {
+  TieredStore store(three_tiers(400, 400, 400));
+  ASSERT_TRUE(store.put(obj(0), 400).ok());
+  ASSERT_TRUE(store.put(obj(1), 400).ok());
+  ASSERT_TRUE(store.put(obj(2), 400).ok());
+  EXPECT_EQ(store.put(obj(3), 400).code(),
+            StatusCode::kResourceExhausted);
+  // Oversized object can never fit.
+  EXPECT_EQ(store.put(obj(4), 4000).code(),
+            StatusCode::kResourceExhausted);
+}
+
+TEST(TieredStore, AccessCostReflectsTier) {
+  TieredStore store(three_tiers(500, 500, 2000));
+  ASSERT_TRUE(store.put(obj(0), 400, 10.0).ok());  // memory (hot)
+  for (geom::Coord i = 1; i < 6; ++i) {
+    ASSERT_TRUE(store.put(obj(i), 400, 0.01).ok());
+  }
+  auto mem_cost = store.access(obj(0));
+  ASSERT_TRUE(mem_cost.ok());
+  // Find an SSD resident and compare.
+  for (geom::Coord i = 1; i < 6; ++i) {
+    auto t = store.tier_of(obj(i));
+    ASSERT_TRUE(t.ok());
+    if (t.value() == Tier::kSsd) {
+      auto ssd_cost = store.access(obj(i));
+      ASSERT_TRUE(ssd_cost.ok());
+      EXPECT_GT(ssd_cost.value(), mem_cost.value() * 10);
+      return;
+    }
+  }
+  FAIL() << "no SSD resident found";
+}
+
+TEST(TieredStore, RepeatedAccessPromotes) {
+  TieredStore store(three_tiers(500, 500, 2000));
+  ASSERT_TRUE(store.put(obj(0), 400, 10.0).ok());
+  ASSERT_TRUE(store.put(obj(1), 400, 10.0).ok());  // spills one down
+  // Identify the demoted object and hammer it.
+  geom::Coord demoted = store.tier_of(obj(0)).value() == Tier::kMemory
+                            ? 1
+                            : 0;
+  store.end_of_step();
+  store.end_of_step();  // cool everything
+  for (int i = 0; i < 25; ++i) {
+    ASSERT_TRUE(store.access(obj(demoted)).ok());
+  }
+  EXPECT_EQ(store.tier_of(obj(demoted)).value(), Tier::kMemory);
+  EXPECT_GE(store.stats(Tier::kMemory).promotions, 1u);
+}
+
+TEST(TieredStore, HeatDecayDemotesIdleData) {
+  TieredStore store(three_tiers(500, 500, 2000), /*heat_decay=*/0.1);
+  ASSERT_TRUE(store.put(obj(0), 400, 100.0).ok());
+  for (int s = 0; s < 5; ++s) store.end_of_step();
+  // A fresh hot object now displaces the stale one.
+  ASSERT_TRUE(store.put(obj(1), 400, 1.0).ok());
+  EXPECT_EQ(store.tier_of(obj(1)).value(), Tier::kMemory);
+  EXPECT_EQ(store.tier_of(obj(0)).value(), Tier::kNvram);
+}
+
+TEST(TieredStore, EraseFreesCapacity) {
+  TieredStore store(three_tiers(400, 0, 0));
+  // Single-tier configuration also works.
+  TieredStore mem_only({memory_tier(400)});
+  ASSERT_TRUE(mem_only.put(obj(0), 400).ok());
+  EXPECT_EQ(mem_only.put(obj(1), 400).code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_TRUE(mem_only.erase(obj(0)));
+  ASSERT_TRUE(mem_only.put(obj(1), 400).ok());
+  EXPECT_FALSE(mem_only.erase(obj(0)));
+}
+
+TEST(TieredStore, RefreshSameSizeKeepsPlacement) {
+  TieredStore store(three_tiers(1000, 1000, 1000));
+  ASSERT_TRUE(store.put(obj(0), 400, 1.0).ok());
+  ASSERT_TRUE(store.put(obj(0), 400, 3.0).ok());  // refresh
+  EXPECT_EQ(store.total_objects(), 1u);
+  EXPECT_EQ(store.stats(Tier::kMemory).resident_bytes, 400u);
+}
+
+TEST(TieredStore, DefaultSpecsAreOrdered) {
+  auto mem = memory_tier(1);
+  auto nv = nvram_tier(1);
+  auto ssd = ssd_tier(1);
+  EXPECT_LT(mem.access_time(1 << 20), nv.access_time(1 << 20));
+  EXPECT_LT(nv.access_time(1 << 20), ssd.access_time(1 << 20));
+}
+
+}  // namespace
+}  // namespace corec::tier

@@ -1,0 +1,159 @@
+// Metadata wire format: descriptor/location round trips, directory
+// snapshot/restore, and rejection of malformed input.
+#include "staging/wire.hpp"
+
+#include <gtest/gtest.h>
+
+namespace corec::staging {
+namespace {
+
+ObjectDescriptor sample_desc() {
+  return {7, 42, geom::BoundingBox::cube(-4, 0, 8, 3, 15, 63), 2};
+}
+
+ObjectLocation sample_encoded_location() {
+  ObjectLocation loc;
+  loc.primary = 3;
+  loc.protection = Protection::kEncoded;
+  loc.stripe_servers = {3, 9, 1, 5};
+  loc.k = 3;
+  loc.m = 1;
+  loc.chunk_size = 4096;
+  loc.logical_size = 12000;
+  return loc;
+}
+
+TEST(Wire, BoxRoundTrip) {
+  for (const auto& box :
+       {geom::BoundingBox::line(-100, 100),
+        geom::BoundingBox::rect(0, 0, 7, 9),
+        geom::BoundingBox::cube(-4, 0, 8, 3, 15, 63)}) {
+    Bytes buf;
+    BufferWriter w(&buf);
+    encode_box(box, &w);
+    BufferReader r(buf);
+    auto decoded = decode_box(&r);
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(decoded.value(), box);
+    EXPECT_EQ(r.remaining(), 0u);
+  }
+}
+
+TEST(Wire, DescriptorRoundTrip) {
+  Bytes buf;
+  BufferWriter w(&buf);
+  encode_descriptor(sample_desc(), &w);
+  BufferReader r(buf);
+  auto decoded = decode_descriptor(&r);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value(), sample_desc());
+}
+
+TEST(Wire, LocationRoundTripEncoded) {
+  Bytes buf;
+  BufferWriter w(&buf);
+  encode_location(sample_encoded_location(), &w);
+  BufferReader r(buf);
+  auto decoded = decode_location(&r);
+  ASSERT_TRUE(decoded.ok());
+  const ObjectLocation& loc = decoded.value();
+  EXPECT_EQ(loc.primary, 3u);
+  EXPECT_EQ(loc.protection, Protection::kEncoded);
+  EXPECT_EQ(loc.stripe_servers, (std::vector<ServerId>{3, 9, 1, 5}));
+  EXPECT_EQ(loc.k, 3u);
+  EXPECT_EQ(loc.m, 1u);
+  EXPECT_EQ(loc.chunk_size, 4096u);
+  EXPECT_EQ(loc.logical_size, 12000u);
+}
+
+TEST(Wire, LocationRoundTripReplicated) {
+  ObjectLocation loc;
+  loc.primary = 1;
+  loc.protection = Protection::kReplicated;
+  loc.replicas = {4, 6};
+  loc.logical_size = 99;
+  Bytes buf;
+  BufferWriter w(&buf);
+  encode_location(loc, &w);
+  BufferReader r(buf);
+  auto decoded = decode_location(&r);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().replicas, (std::vector<ServerId>{4, 6}));
+  EXPECT_TRUE(decoded.value().stripe_servers.empty());
+}
+
+TEST(Wire, DirectorySnapshotRestore) {
+  Directory dir;
+  for (Version v = 0; v < 5; ++v) {
+    ObjectDescriptor desc{1, v,
+                          geom::BoundingBox::rect(v * 10, 0, v * 10 + 9,
+                                                  9),
+                          kWholeObject};
+    ObjectLocation loc = sample_encoded_location();
+    loc.logical_size = 100 + v;
+    dir.upsert(desc, loc);
+  }
+  Bytes snapshot = snapshot_directory(dir);
+
+  Directory restored;
+  ASSERT_TRUE(restore_directory(snapshot, &restored).ok());
+  EXPECT_EQ(restored.size(), dir.size());
+  dir.for_each([&](const ObjectDescriptor& desc,
+                   const ObjectLocation& loc) {
+    const ObjectLocation* rloc = restored.find(desc);
+    ASSERT_NE(rloc, nullptr) << desc.to_string();
+    EXPECT_EQ(rloc->logical_size, loc.logical_size);
+    EXPECT_EQ(rloc->stripe_servers, loc.stripe_servers);
+  });
+  // Geometric queries work on the restored directory.
+  auto hits = restored.query_latest(
+      1, 10, geom::BoundingBox::rect(0, 0, 100, 9));
+  EXPECT_EQ(hits.size(), 5u);
+}
+
+TEST(Wire, RejectsGarbage) {
+  Directory dir;
+  Bytes garbage{1, 2, 3, 4, 5, 6, 7, 8, 9};
+  EXPECT_FALSE(restore_directory(garbage, &dir).ok());
+  EXPECT_EQ(dir.size(), 0u);
+}
+
+TEST(Wire, RejectsTruncatedSnapshot) {
+  Directory dir;
+  dir.upsert(sample_desc(), sample_encoded_location());
+  Bytes snapshot = snapshot_directory(dir);
+  snapshot.resize(snapshot.size() - 3);
+  Directory restored;
+  EXPECT_FALSE(restore_directory(snapshot, &restored).ok());
+}
+
+TEST(Wire, RejectsTrailingBytes) {
+  Directory dir;
+  Bytes snapshot = snapshot_directory(dir);
+  snapshot.push_back(0xFF);
+  Directory restored;
+  Status st = restore_directory(snapshot, &restored);
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Wire, RejectsInvertedBoxCorners) {
+  Bytes buf;
+  BufferWriter w(&buf);
+  w.put<std::uint8_t>(1);
+  w.put<std::int64_t>(10);
+  w.put<std::int64_t>(5);  // hi < lo
+  BufferReader r(buf);
+  EXPECT_FALSE(decode_box(&r).ok());
+}
+
+TEST(Wire, RejectsBadProtectionTag) {
+  Bytes buf;
+  BufferWriter w(&buf);
+  w.put<ServerId>(0);
+  w.put<std::uint8_t>(77);  // not a Protection value
+  BufferReader r(buf);
+  EXPECT_FALSE(decode_location(&r).ok());
+}
+
+}  // namespace
+}  // namespace corec::staging

@@ -1,0 +1,243 @@
+// Workload generators and the driver: plan shapes for the five
+// synthetic cases and the S3D configurations, and driver metrics.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "workloads/driver.hpp"
+#include "workloads/mechanisms.hpp"
+#include "workloads/s3d.hpp"
+#include "workloads/synthetic.hpp"
+
+namespace corec::workloads {
+namespace {
+
+SyntheticOptions small_synth() {
+  SyntheticOptions o;
+  o.domain_extent = 32;
+  o.writer_grid = 2;  // 8 writers
+  o.readers = 4;
+  o.time_steps = 6;
+  return o;
+}
+
+std::uint64_t write_volume(const StepPlan& step) {
+  std::uint64_t v = 0;
+  for (const auto& w : step.writes) v += w.box.volume();
+  return v;
+}
+
+TEST(Synthetic, Case1WritesWholeDomainEveryStep) {
+  auto plan = make_synthetic_case(1, small_synth());
+  ASSERT_EQ(plan.steps.size(), 6u);
+  for (const auto& step : plan.steps) {
+    EXPECT_EQ(step.writes.size(), 8u);
+    EXPECT_EQ(write_volume(step), plan.domain.volume());
+    EXPECT_EQ(step.reads.size(), 4u);
+  }
+}
+
+TEST(Synthetic, Case2RotatesSubdomains) {
+  auto plan = make_synthetic_case(2, small_synth());
+  // Each step writes a quarter of the domain; 4 consecutive steps
+  // cover it exactly.
+  std::uint64_t quarter = plan.domain.volume() / 4;
+  for (const auto& step : plan.steps) {
+    EXPECT_EQ(write_volume(step), quarter);
+  }
+  // Steps 0..3 write pairwise disjoint regions.
+  for (int i = 0; i < 4; ++i) {
+    for (int j = i + 1; j < 4; ++j) {
+      for (const auto& wi : plan.steps[i].writes) {
+        for (const auto& wj : plan.steps[j].writes) {
+          EXPECT_FALSE(wi.box.intersects(wj.box));
+        }
+      }
+    }
+  }
+  // Step 4 repeats step 0's region (period 4).
+  EXPECT_EQ(plan.steps[4].writes.size(), plan.steps[0].writes.size());
+  EXPECT_EQ(plan.steps[4].writes[0].box, plan.steps[0].writes[0].box);
+}
+
+TEST(Synthetic, Case3HotSubdomain) {
+  auto plan = make_synthetic_case(3, small_synth());
+  // Step 0 writes everything; later steps only the hot quarter.
+  EXPECT_EQ(write_volume(plan.steps[0]), plan.domain.volume());
+  for (std::size_t s = 1; s < plan.steps.size(); ++s) {
+    EXPECT_EQ(write_volume(plan.steps[s]), plan.domain.volume() / 4);
+    // Always the same region.
+    EXPECT_EQ(plan.steps[s].writes[0].box, plan.steps[1].writes[0].box);
+  }
+}
+
+TEST(Synthetic, Case4RandomSubsetsDeterministicUnderSeed) {
+  auto a = make_synthetic_case(4, small_synth());
+  auto b = make_synthetic_case(4, small_synth());
+  SyntheticOptions other = small_synth();
+  other.seed = 1234;
+  auto c = make_synthetic_case(4, other);
+  for (std::size_t s = 0; s < a.steps.size(); ++s) {
+    ASSERT_EQ(a.steps[s].writes.size(), b.steps[s].writes.size());
+    for (std::size_t i = 0; i < a.steps[s].writes.size(); ++i) {
+      EXPECT_EQ(a.steps[s].writes[i].box, b.steps[s].writes[i].box);
+    }
+    EXPECT_EQ(a.steps[s].writes.size(), 2u);  // 25% of 8 blocks
+  }
+  bool differs = false;
+  for (std::size_t s = 0; s < a.steps.size() && !differs; ++s) {
+    for (std::size_t i = 0; i < a.steps[s].writes.size(); ++i) {
+      if (!(a.steps[s].writes[i].box == c.steps[s].writes[i].box)) {
+        differs = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Synthetic, Case5WriteOnceReadAlways) {
+  auto plan = make_synthetic_case(5, small_synth());
+  EXPECT_EQ(plan.steps[0].writes.size(), 8u);
+  for (std::size_t s = 1; s < plan.steps.size(); ++s) {
+    EXPECT_TRUE(plan.steps[s].writes.empty());
+    EXPECT_EQ(plan.steps[s].reads.size(), 4u);
+  }
+}
+
+TEST(Synthetic, Table1Defaults) {
+  SyntheticOptions o;
+  auto plan = make_synthetic_case(1, o);
+  EXPECT_EQ(plan.domain.volume(), 256ull * 256 * 256);
+  EXPECT_EQ(plan.steps.size(), 20u);
+  EXPECT_EQ(plan.steps[0].writes.size(), 64u);
+  EXPECT_EQ(plan.steps[0].reads.size(), 32u);
+}
+
+TEST(S3d, TableIIConfigurations) {
+  auto c1 = s3d_4480();
+  EXPECT_EQ(c1.sim_cores(), 4096u);
+  EXPECT_EQ(c1.domain_x(), 1024);
+  EXPECT_EQ(c1.bytes_per_step(), 8ull << 30);  // 1024^3 * 8 B
+
+  auto c2 = s3d_8960();
+  EXPECT_EQ(c2.domain_x(), 2048);
+  EXPECT_EQ(c2.staging_cores, 512u);
+
+  auto c3 = s3d_17920();
+  EXPECT_EQ(c3.domain_y(), 2048);
+  EXPECT_EQ(c3.analysis_cores, 512u);
+}
+
+TEST(S3d, ScaledShrinksBytesNotCores) {
+  auto c = scaled(s3d_4480(), 4);
+  EXPECT_EQ(c.sim_cores(), 4096u);
+  EXPECT_EQ(c.block_extent, 16);
+  EXPECT_EQ(c.bytes_per_step(), (8ull << 30) / 64);
+}
+
+TEST(S3d, PlanShape) {
+  auto c = scaled(s3d_4480(), 16);  // 4^3 blocks
+  c.time_steps = 2;
+  auto plan = make_s3d_plan(c);
+  ASSERT_EQ(plan.steps.size(), 2u);
+  EXPECT_EQ(plan.steps[0].writes.size(), 4096u);
+  EXPECT_EQ(plan.steps[0].reads.size(), 128u);
+  std::uint64_t vol = 0;
+  for (const auto& w : plan.steps[0].writes) vol += w.box.volume();
+  EXPECT_EQ(vol, plan.domain.volume());
+}
+
+TEST(Mechanisms, FactoryProducesAllSchemes) {
+  for (Mechanism m :
+       {Mechanism::kNone, Mechanism::kReplication, Mechanism::kErasure,
+        Mechanism::kHybrid, Mechanism::kCorec,
+        Mechanism::kCorecAggressive}) {
+    auto scheme = make_scheme(m);
+    ASSERT_NE(scheme, nullptr) << to_string(m);
+    EXPECT_FALSE(scheme->name().empty());
+  }
+}
+
+TEST(Mechanisms, Table1Options) {
+  auto opts = table1_service_options();
+  EXPECT_EQ(opts.topology.num_servers(), 8u);
+  EXPECT_EQ(opts.domain.volume(), 256ull * 256 * 256);
+}
+
+TEST(Driver, CollectsMetricsAndVerifiesReads) {
+  sim::Simulation sim;
+  auto opts = table1_service_options();
+  opts.domain = geom::BoundingBox::cube(0, 0, 0, 31, 31, 31);
+  opts.fit.target_bytes = 4096;
+  staging::StagingService service(
+      opts, &sim, make_scheme(Mechanism::kReplication));
+  WorkloadDriver driver(&service, {.verify_reads = true});
+  auto plan = make_synthetic_case(1, small_synth());
+  RunMetrics metrics = driver.run(plan);
+
+  EXPECT_EQ(metrics.total_writes, 8u * 6);
+  EXPECT_EQ(metrics.total_reads, 4u * 6);
+  EXPECT_EQ(metrics.corrupt_reads(), 0u);
+  EXPECT_EQ(metrics.data_loss_reads(), 0u);
+  EXPECT_GT(metrics.avg_write_response(), 0.0);
+  EXPECT_GT(metrics.avg_read_response(), 0.0);
+  EXPECT_GT(metrics.makespan, 0);
+  EXPECT_NEAR(metrics.storage_efficiency, 0.5, 0.02);
+  EXPECT_GT(metrics.write_bd.transport, 0);
+  EXPECT_GT(metrics.write_bd.metadata, 0);
+}
+
+TEST(Driver, HooksFireAtStepStart) {
+  sim::Simulation sim;
+  auto opts = table1_service_options();
+  opts.domain = geom::BoundingBox::cube(0, 0, 0, 31, 31, 31);
+  staging::StagingService service(opts, &sim,
+                                  make_scheme(Mechanism::kCorec));
+  WorkloadDriver driver(&service);
+  std::vector<Version> fired;
+  driver.add_hook(2, [&] { fired.push_back(2); });
+  driver.add_hook(4, [&] { fired.push_back(4); });
+  driver.add_hook(4, [&] { fired.push_back(4); });
+  auto plan = make_synthetic_case(5, small_synth());
+  driver.run(plan);
+  EXPECT_EQ(fired, (std::vector<Version>{2, 4, 4}));
+}
+
+TEST(Driver, FailureInjectionThroughHooksVerifiedReads) {
+  sim::Simulation sim;
+  auto opts = table1_service_options();
+  opts.domain = geom::BoundingBox::cube(0, 0, 0, 31, 31, 31);
+  opts.fit.target_bytes = 4096;
+  staging::StagingService service(opts, &sim,
+                                  make_scheme(Mechanism::kErasure));
+  WorkloadDriver driver(&service, {.verify_reads = true});
+  driver.add_hook(2, [&] { service.kill_server(1); });
+  driver.add_hook(4, [&] { service.replace_server(1); });
+  auto plan = make_synthetic_case(5, small_synth());
+  RunMetrics metrics = driver.run(plan);
+  // Every read (healthy, degraded, and post-recovery) byte-verified.
+  EXPECT_EQ(metrics.corrupt_reads(), 0u);
+  EXPECT_EQ(metrics.data_loss_reads(), 0u);
+  // Reads during the failure window were slower than before it.
+  double healthy = metrics.steps[1].read_response.mean();
+  double degraded = metrics.steps[2].read_response.mean();
+  EXPECT_GT(degraded, healthy);
+}
+
+TEST(Driver, PhantomModeRunsLargePlansFast) {
+  sim::Simulation sim;
+  auto opts = table1_service_options();
+  staging::StagingService service(opts, &sim,
+                                  make_scheme(Mechanism::kCorec));
+  WorkloadDriver driver(&service);  // phantom
+  SyntheticOptions o;  // full Table I scale, 20 steps, 64 writers
+  o.time_steps = 5;
+  auto plan = make_synthetic_case(1, o);
+  RunMetrics metrics = driver.run(plan);
+  EXPECT_EQ(metrics.total_writes, 64u * 5);
+  EXPECT_GT(metrics.avg_write_response(), 0.0);
+}
+
+}  // namespace
+}  // namespace corec::workloads

@@ -1,0 +1,274 @@
+// corec_sim — configurable experiment runner for the CoREC staging
+// simulator. Runs one workload/mechanism combination and reports the
+// metrics the paper's evaluation uses, optionally as CSV for plotting.
+//
+// Examples:
+//   corec_sim --case 3 --mechanism corec
+//   corec_sim --case 1 --mechanism erasure --servers 16 --steps 30
+//   corec_sim --case 5 --mechanism corec --fail 4:2 --replace 8:2
+//   corec_sim --case 2 --mechanism hybrid --floor 0.72 --csv
+//   corec_sim --s3d 4480 --mechanism corec --scale 4
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/corec_scheme.hpp"
+#include "workloads/driver.hpp"
+#include "workloads/mechanisms.hpp"
+#include "workloads/s3d.hpp"
+#include "workloads/synthetic.hpp"
+
+using namespace corec;
+using namespace corec::workloads;
+
+namespace {
+
+struct CliOptions {
+  int case_number = 1;
+  int s3d_cores = 0;  // 0 = synthetic; 4480/8960/17920 = Table II
+  geom::Coord s3d_scale = 4;
+  std::string mechanism = "corec";
+  std::size_t servers = 8;
+  std::size_t cabinets = 4;
+  Version steps = 20;
+  std::size_t k = 3, m = 1, n_level = 1;
+  double floor = 0.67;
+  std::uint64_t seed = 42;
+  bool csv = false;
+  bool verify = false;
+  // step:server pairs
+  std::vector<std::pair<Version, ServerId>> fails;
+  std::vector<std::pair<Version, ServerId>> replaces;
+};
+
+void usage() {
+  std::printf(
+      "corec_sim — CoREC staging experiment runner\n\n"
+      "workload (pick one):\n"
+      "  --case N            synthetic case 1-5 (default 1)\n"
+      "  --s3d CORES         Table II S3D scenario: 4480|8960|17920\n"
+      "  --scale F           shrink S3D blocks by F (default 4; 1 = "
+      "paper size)\n"
+      "options:\n"
+      "  --mechanism M       dataspaces|replicate|erasure|hybrid|corec|"
+      "corec-aggressive\n"
+      "  --servers N         staging servers (default 8)\n"
+      "  --cabinets N        failure domains (default 4)\n"
+      "  --steps N           time steps (default 20)\n"
+      "  --k N --m N         stripe geometry (default 3+1)\n"
+      "  --replicas N        replica count for hot data (default 1)\n"
+      "  --floor F           storage efficiency floor (default 0.67)\n"
+      "  --fail TS:SRV       kill server SRV at step TS (repeatable)\n"
+      "  --replace TS:SRV    replace server SRV at step TS (repeatable)\n"
+      "  --seed N            RNG seed\n"
+      "  --verify            real payloads + byte verification\n"
+      "  --csv               per-step CSV on stdout\n");
+}
+
+bool parse_pair(const char* arg, std::pair<Version, ServerId>* out) {
+  const char* colon = std::strchr(arg, ':');
+  if (colon == nullptr) return false;
+  out->first = static_cast<Version>(std::strtoul(arg, nullptr, 10));
+  out->second =
+      static_cast<ServerId>(std::strtoul(colon + 1, nullptr, 10));
+  return true;
+}
+
+Mechanism parse_mechanism(const std::string& name) {
+  if (name == "dataspaces" || name == "none") return Mechanism::kNone;
+  if (name == "replicate") return Mechanism::kReplication;
+  if (name == "erasure") return Mechanism::kErasure;
+  if (name == "hybrid") return Mechanism::kHybrid;
+  if (name == "corec") return Mechanism::kCorec;
+  if (name == "corec-aggressive") return Mechanism::kCorecAggressive;
+  std::fprintf(stderr, "unknown mechanism '%s'\n", name.c_str());
+  std::exit(2);
+}
+
+bool parse_args(int argc, char** argv, CliOptions* cli) {
+  for (int i = 1; i < argc; ++i) {
+    std::string a = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", a.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (a == "--help" || a == "-h") {
+      usage();
+      std::exit(0);
+    } else if (a == "--case") {
+      cli->case_number = std::atoi(next());
+    } else if (a == "--s3d") {
+      cli->s3d_cores = std::atoi(next());
+    } else if (a == "--scale") {
+      cli->s3d_scale = std::atol(next());
+    } else if (a == "--mechanism") {
+      cli->mechanism = next();
+    } else if (a == "--servers") {
+      cli->servers = static_cast<std::size_t>(std::atol(next()));
+    } else if (a == "--cabinets") {
+      cli->cabinets = static_cast<std::size_t>(std::atol(next()));
+    } else if (a == "--steps") {
+      cli->steps = static_cast<Version>(std::atol(next()));
+    } else if (a == "--k") {
+      cli->k = static_cast<std::size_t>(std::atol(next()));
+    } else if (a == "--m") {
+      cli->m = static_cast<std::size_t>(std::atol(next()));
+    } else if (a == "--replicas") {
+      cli->n_level = static_cast<std::size_t>(std::atol(next()));
+    } else if (a == "--floor") {
+      cli->floor = std::atof(next());
+    } else if (a == "--seed") {
+      cli->seed = std::strtoull(next(), nullptr, 10);
+    } else if (a == "--csv") {
+      cli->csv = true;
+    } else if (a == "--verify") {
+      cli->verify = true;
+    } else if (a == "--fail") {
+      std::pair<Version, ServerId> p;
+      if (!parse_pair(next(), &p)) return false;
+      cli->fails.push_back(p);
+    } else if (a == "--replace") {
+      std::pair<Version, ServerId> p;
+      if (!parse_pair(next(), &p)) return false;
+      cli->replaces.push_back(p);
+    } else {
+      std::fprintf(stderr, "unknown argument '%s'\n", a.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions cli;
+  if (!parse_args(argc, argv, &cli)) {
+    usage();
+    return 2;
+  }
+
+  // --- assemble workload + service configuration ------------------------
+  WorkloadPlan plan;
+  staging::ServiceOptions service_opts;
+  if (cli.s3d_cores != 0) {
+    S3dConfig config;
+    switch (cli.s3d_cores) {
+      case 4480: config = s3d_4480(); break;
+      case 8960: config = s3d_8960(); break;
+      case 17920: config = s3d_17920(); break;
+      default:
+        std::fprintf(stderr, "--s3d must be 4480|8960|17920\n");
+        return 2;
+    }
+    config = scaled(config, cli.s3d_scale);
+    config.time_steps = cli.steps;
+    plan = make_s3d_plan(config);
+    service_opts = s3d_service_options(config);
+  } else {
+    if (cli.case_number < 1 || cli.case_number > 5) {
+      std::fprintf(stderr, "--case must be 1-5\n");
+      return 2;
+    }
+    SyntheticOptions synth;
+    synth.time_steps = cli.steps;
+    synth.seed = cli.seed;
+    if (cli.verify) {
+      synth.domain_extent = 32;  // keep the mirror small
+      synth.writer_grid = 2;
+      synth.readers = 8;
+    }
+    plan = make_synthetic_case(cli.case_number, synth);
+    service_opts = table1_service_options();
+    service_opts.domain = plan.domain;
+    if (cli.verify) service_opts.fit.target_bytes = 4096;
+  }
+  if (cli.servers % cli.cabinets != 0) {
+    std::fprintf(stderr, "--servers must be divisible by --cabinets\n");
+    return 2;
+  }
+  service_opts.topology =
+      net::Topology(cli.cabinets, cli.servers / cli.cabinets, 1);
+  service_opts.seed = cli.seed;
+
+  MechanismParams params;
+  params.k = cli.k;
+  params.m = cli.m;
+  params.n_level = cli.n_level;
+  params.storage_floor = cli.floor;
+  Mechanism mechanism = parse_mechanism(cli.mechanism);
+
+  // --- run ---------------------------------------------------------------
+  sim::Simulation sim;
+  staging::StagingService service(service_opts, &sim,
+                                  make_scheme(mechanism, params));
+  DriverOptions driver_opts;
+  driver_opts.verify_reads = cli.verify;
+  WorkloadDriver driver(&service, driver_opts);
+  for (auto [step, server] : cli.fails) {
+    driver.add_hook(step,
+                    [&service, s = server] { service.kill_server(s); });
+  }
+  for (auto [step, server] : cli.replaces) {
+    driver.add_hook(
+        step, [&service, s = server] { service.replace_server(s); });
+  }
+  RunMetrics metrics = driver.run(plan);
+
+  // --- report -------------------------------------------------------------
+  if (cli.csv) {
+    std::printf("step,write_ms,read_ms,write_fail,read_fail,data_loss\n");
+    for (std::size_t ts = 0; ts < metrics.steps.size(); ++ts) {
+      const auto& s = metrics.steps[ts];
+      std::printf("%zu,%.6f,%.6f,%zu,%zu,%zu\n", ts,
+                  s.write_response.mean() * 1e3,
+                  s.read_response.mean() * 1e3, s.write_failures,
+                  s.read_failures, s.data_loss_reads);
+    }
+    return 0;
+  }
+
+  std::printf("workload        : %s (%zu steps)\n", plan.name.c_str(),
+              metrics.steps.size());
+  std::printf("mechanism       : %s\n", cli.mechanism.c_str());
+  std::printf("cluster         : %zu servers / %zu cabinets, RS(%zu+%zu),"
+              " %zu replica(s), floor %.0f%%\n",
+              cli.servers, cli.cabinets, cli.k, cli.m, cli.n_level,
+              cli.floor * 100);
+  std::printf("write response  : %.3f ms avg over %zu puts\n",
+              metrics.avg_write_response() * 1e3, metrics.total_writes);
+  std::printf("read response   : %.3f ms avg over %zu gets\n",
+              metrics.avg_read_response() * 1e3, metrics.total_reads);
+  std::printf("storage eff.    : %.0f%%\n",
+              metrics.storage_efficiency * 100);
+  std::printf("makespan        : %.3f s (virtual)\n",
+              to_seconds(metrics.makespan));
+  std::printf("failures        : %zu data-loss reads, %zu corrupt\n",
+              metrics.data_loss_reads(), metrics.corrupt_reads());
+  if (auto* corec = dynamic_cast<core::CorecScheme*>(&service.scheme())) {
+    std::printf("corec           : %llu fast-path writes, %llu "
+                "transitioned, %llu demotions, %llu promotions, "
+                "repair backlog %zu\n",
+                static_cast<unsigned long long>(
+                    corec->stats().writes_replicated),
+                static_cast<unsigned long long>(
+                    corec->stats().writes_encoded),
+                static_cast<unsigned long long>(
+                    corec->stats().demotions),
+                static_cast<unsigned long long>(
+                    corec->stats().promotions),
+                corec->repair_backlog());
+  }
+  if (cli.verify) {
+    std::printf("verification    : %s\n",
+                metrics.corrupt_reads() == 0 ? "all reads byte-exact"
+                                             : "CORRUPTION DETECTED");
+    return metrics.corrupt_reads() == 0 ? 0 : 1;
+  }
+  return 0;
+}

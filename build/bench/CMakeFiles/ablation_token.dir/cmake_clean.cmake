@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_token.dir/ablation_token.cpp.o"
+  "CMakeFiles/ablation_token.dir/ablation_token.cpp.o.d"
+  "ablation_token"
+  "ablation_token.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_token.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_update_path.dir/ablation_update_path.cpp.o"
+  "CMakeFiles/ablation_update_path.dir/ablation_update_path.cpp.o.d"
+  "ablation_update_path"
+  "ablation_update_path.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_update_path.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

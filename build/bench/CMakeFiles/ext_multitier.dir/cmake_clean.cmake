@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_multitier.dir/ext_multitier.cpp.o"
+  "CMakeFiles/ext_multitier.dir/ext_multitier.cpp.o.d"
+  "ext_multitier"
+  "ext_multitier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_multitier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_checkpoint_impact.dir/fig02_checkpoint_impact.cpp.o"
+  "CMakeFiles/fig02_checkpoint_impact.dir/fig02_checkpoint_impact.cpp.o.d"
+  "fig02_checkpoint_impact"
+  "fig02_checkpoint_impact.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_checkpoint_impact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_analytic_model.dir/fig04_analytic_model.cpp.o"
+  "CMakeFiles/fig04_analytic_model.dir/fig04_analytic_model.cpp.o.d"
+  "fig04_analytic_model"
+  "fig04_analytic_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_analytic_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

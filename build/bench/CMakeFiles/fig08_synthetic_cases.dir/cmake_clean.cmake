@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_synthetic_cases.dir/fig08_synthetic_cases.cpp.o"
+  "CMakeFiles/fig08_synthetic_cases.dir/fig08_synthetic_cases.cpp.o.d"
+  "fig08_synthetic_cases"
+  "fig08_synthetic_cases.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_synthetic_cases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

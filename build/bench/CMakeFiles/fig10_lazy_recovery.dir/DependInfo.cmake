@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig10_lazy_recovery.cpp" "bench/CMakeFiles/fig10_lazy_recovery.dir/fig10_lazy_recovery.cpp.o" "gcc" "bench/CMakeFiles/fig10_lazy_recovery.dir/fig10_lazy_recovery.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/corec_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/corec_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/resilience/CMakeFiles/corec_resilience.dir/DependInfo.cmake"
+  "/root/repo/build/src/staging/CMakeFiles/corec_staging.dir/DependInfo.cmake"
+  "/root/repo/build/src/ckpt/CMakeFiles/corec_ckpt.dir/DependInfo.cmake"
+  "/root/repo/build/src/tier/CMakeFiles/corec_tier.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/corec_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/erasure/CMakeFiles/corec_erasure.dir/DependInfo.cmake"
+  "/root/repo/build/src/gf/CMakeFiles/corec_gf.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/corec_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sfc/CMakeFiles/corec_sfc.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/corec_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/corec_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_lazy_recovery.dir/fig10_lazy_recovery.cpp.o"
+  "CMakeFiles/fig10_lazy_recovery.dir/fig10_lazy_recovery.cpp.o.d"
+  "fig10_lazy_recovery"
+  "fig10_lazy_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_lazy_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

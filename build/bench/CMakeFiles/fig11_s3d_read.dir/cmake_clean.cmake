@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_s3d_read.dir/fig11_s3d_read.cpp.o"
+  "CMakeFiles/fig11_s3d_read.dir/fig11_s3d_read.cpp.o.d"
+  "fig11_s3d_read"
+  "fig11_s3d_read.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_s3d_read.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_s3d_write.dir/fig12_s3d_write.cpp.o"
+  "CMakeFiles/fig12_s3d_write.dir/fig12_s3d_write.cpp.o.d"
+  "fig12_s3d_write"
+  "fig12_s3d_write.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_s3d_write.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_classifier.dir/micro_classifier.cpp.o"
+  "CMakeFiles/micro_classifier.dir/micro_classifier.cpp.o.d"
+  "micro_classifier"
+  "micro_classifier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_classifier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

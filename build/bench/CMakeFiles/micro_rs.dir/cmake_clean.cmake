@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_rs.dir/micro_rs.cpp.o"
+  "CMakeFiles/micro_rs.dir/micro_rs.cpp.o.d"
+  "micro_rs"
+  "micro_rs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_rs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

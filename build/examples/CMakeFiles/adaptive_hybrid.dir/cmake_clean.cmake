@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_hybrid.dir/adaptive_hybrid.cpp.o"
+  "CMakeFiles/adaptive_hybrid.dir/adaptive_hybrid.cpp.o.d"
+  "adaptive_hybrid"
+  "adaptive_hybrid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_hybrid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

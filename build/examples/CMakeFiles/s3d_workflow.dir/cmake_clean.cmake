@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s3d_workflow.dir/s3d_workflow.cpp.o"
+  "CMakeFiles/s3d_workflow.dir/s3d_workflow.cpp.o.d"
+  "s3d_workflow"
+  "s3d_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s3d_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("gf")
+subdirs("erasure")
+subdirs("geom")
+subdirs("sfc")
+subdirs("sim")
+subdirs("net")
+subdirs("staging")
+subdirs("resilience")
+subdirs("core")
+subdirs("workloads")
+subdirs("ckpt")
+subdirs("tier")

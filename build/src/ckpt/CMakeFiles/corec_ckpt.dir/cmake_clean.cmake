@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/corec_ckpt.dir/checkpoint.cpp.o"
+  "CMakeFiles/corec_ckpt.dir/checkpoint.cpp.o.d"
+  "libcorec_ckpt.a"
+  "libcorec_ckpt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corec_ckpt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/corec_common.dir/log.cpp.o"
+  "CMakeFiles/corec_common.dir/log.cpp.o.d"
+  "CMakeFiles/corec_common.dir/rng.cpp.o"
+  "CMakeFiles/corec_common.dir/rng.cpp.o.d"
+  "CMakeFiles/corec_common.dir/stats.cpp.o"
+  "CMakeFiles/corec_common.dir/stats.cpp.o.d"
+  "CMakeFiles/corec_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/corec_common.dir/thread_pool.cpp.o.d"
+  "libcorec_common.a"
+  "libcorec_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corec_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/corec_core.dir/classifier.cpp.o"
+  "CMakeFiles/corec_core.dir/classifier.cpp.o.d"
+  "CMakeFiles/corec_core.dir/corec_scheme.cpp.o"
+  "CMakeFiles/corec_core.dir/corec_scheme.cpp.o.d"
+  "CMakeFiles/corec_core.dir/encoding_workflow.cpp.o"
+  "CMakeFiles/corec_core.dir/encoding_workflow.cpp.o.d"
+  "CMakeFiles/corec_core.dir/model.cpp.o"
+  "CMakeFiles/corec_core.dir/model.cpp.o.d"
+  "CMakeFiles/corec_core.dir/recovery.cpp.o"
+  "CMakeFiles/corec_core.dir/recovery.cpp.o.d"
+  "libcorec_core.a"
+  "libcorec_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corec_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/corec_erasure.dir/matrix.cpp.o"
+  "CMakeFiles/corec_erasure.dir/matrix.cpp.o.d"
+  "CMakeFiles/corec_erasure.dir/parallel.cpp.o"
+  "CMakeFiles/corec_erasure.dir/parallel.cpp.o.d"
+  "CMakeFiles/corec_erasure.dir/reed_solomon.cpp.o"
+  "CMakeFiles/corec_erasure.dir/reed_solomon.cpp.o.d"
+  "CMakeFiles/corec_erasure.dir/stripe.cpp.o"
+  "CMakeFiles/corec_erasure.dir/stripe.cpp.o.d"
+  "libcorec_erasure.a"
+  "libcorec_erasure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corec_erasure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/corec_geom.dir/bbox.cpp.o"
+  "CMakeFiles/corec_geom.dir/bbox.cpp.o.d"
+  "CMakeFiles/corec_geom.dir/partition.cpp.o"
+  "CMakeFiles/corec_geom.dir/partition.cpp.o.d"
+  "libcorec_geom.a"
+  "libcorec_geom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corec_geom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/corec_gf.dir/gf256.cpp.o"
+  "CMakeFiles/corec_gf.dir/gf256.cpp.o.d"
+  "libcorec_gf.a"
+  "libcorec_gf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corec_gf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

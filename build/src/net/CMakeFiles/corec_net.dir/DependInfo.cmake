@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/cost_model.cpp" "src/net/CMakeFiles/corec_net.dir/cost_model.cpp.o" "gcc" "src/net/CMakeFiles/corec_net.dir/cost_model.cpp.o.d"
+  "/root/repo/src/net/failure.cpp" "src/net/CMakeFiles/corec_net.dir/failure.cpp.o" "gcc" "src/net/CMakeFiles/corec_net.dir/failure.cpp.o.d"
+  "/root/repo/src/net/topology.cpp" "src/net/CMakeFiles/corec_net.dir/topology.cpp.o" "gcc" "src/net/CMakeFiles/corec_net.dir/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/corec_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/corec_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/erasure/CMakeFiles/corec_erasure.dir/DependInfo.cmake"
+  "/root/repo/build/src/gf/CMakeFiles/corec_gf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

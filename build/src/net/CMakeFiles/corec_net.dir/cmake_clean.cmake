@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/corec_net.dir/cost_model.cpp.o"
+  "CMakeFiles/corec_net.dir/cost_model.cpp.o.d"
+  "CMakeFiles/corec_net.dir/failure.cpp.o"
+  "CMakeFiles/corec_net.dir/failure.cpp.o.d"
+  "CMakeFiles/corec_net.dir/topology.cpp.o"
+  "CMakeFiles/corec_net.dir/topology.cpp.o.d"
+  "libcorec_net.a"
+  "libcorec_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corec_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

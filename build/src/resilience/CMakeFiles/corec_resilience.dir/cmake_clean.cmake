@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/corec_resilience.dir/groups.cpp.o"
+  "CMakeFiles/corec_resilience.dir/groups.cpp.o.d"
+  "CMakeFiles/corec_resilience.dir/primitives.cpp.o"
+  "CMakeFiles/corec_resilience.dir/primitives.cpp.o.d"
+  "CMakeFiles/corec_resilience.dir/schemes.cpp.o"
+  "CMakeFiles/corec_resilience.dir/schemes.cpp.o.d"
+  "libcorec_resilience.a"
+  "libcorec_resilience.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corec_resilience.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

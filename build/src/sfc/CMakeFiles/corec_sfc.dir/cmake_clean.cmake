@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/corec_sfc.dir/sfc.cpp.o"
+  "CMakeFiles/corec_sfc.dir/sfc.cpp.o.d"
+  "libcorec_sfc.a"
+  "libcorec_sfc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corec_sfc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

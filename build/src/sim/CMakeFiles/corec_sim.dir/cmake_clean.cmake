@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/corec_sim.dir/simulation.cpp.o"
+  "CMakeFiles/corec_sim.dir/simulation.cpp.o.d"
+  "libcorec_sim.a"
+  "libcorec_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corec_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/corec_staging.dir/directory.cpp.o"
+  "CMakeFiles/corec_staging.dir/directory.cpp.o.d"
+  "CMakeFiles/corec_staging.dir/hyperslab.cpp.o"
+  "CMakeFiles/corec_staging.dir/hyperslab.cpp.o.d"
+  "CMakeFiles/corec_staging.dir/object.cpp.o"
+  "CMakeFiles/corec_staging.dir/object.cpp.o.d"
+  "CMakeFiles/corec_staging.dir/object_store.cpp.o"
+  "CMakeFiles/corec_staging.dir/object_store.cpp.o.d"
+  "CMakeFiles/corec_staging.dir/service.cpp.o"
+  "CMakeFiles/corec_staging.dir/service.cpp.o.d"
+  "CMakeFiles/corec_staging.dir/wire.cpp.o"
+  "CMakeFiles/corec_staging.dir/wire.cpp.o.d"
+  "libcorec_staging.a"
+  "libcorec_staging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corec_staging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

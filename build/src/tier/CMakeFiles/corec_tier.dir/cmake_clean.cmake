@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/corec_tier.dir/tiered_store.cpp.o"
+  "CMakeFiles/corec_tier.dir/tiered_store.cpp.o.d"
+  "libcorec_tier.a"
+  "libcorec_tier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corec_tier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

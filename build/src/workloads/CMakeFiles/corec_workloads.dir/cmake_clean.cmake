@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/corec_workloads.dir/driver.cpp.o"
+  "CMakeFiles/corec_workloads.dir/driver.cpp.o.d"
+  "CMakeFiles/corec_workloads.dir/mechanisms.cpp.o"
+  "CMakeFiles/corec_workloads.dir/mechanisms.cpp.o.d"
+  "CMakeFiles/corec_workloads.dir/s3d.cpp.o"
+  "CMakeFiles/corec_workloads.dir/s3d.cpp.o.d"
+  "CMakeFiles/corec_workloads.dir/synthetic.cpp.o"
+  "CMakeFiles/corec_workloads.dir/synthetic.cpp.o.d"
+  "libcorec_workloads.a"
+  "libcorec_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corec_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcorec_workloads.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/corec_scheme_test.dir/corec_scheme_test.cpp.o"
+  "CMakeFiles/corec_scheme_test.dir/corec_scheme_test.cpp.o.d"
+  "corec_scheme_test"
+  "corec_scheme_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corec_scheme_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

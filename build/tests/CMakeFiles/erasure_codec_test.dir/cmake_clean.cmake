@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/erasure_codec_test.dir/erasure_codec_test.cpp.o"
+  "CMakeFiles/erasure_codec_test.dir/erasure_codec_test.cpp.o.d"
+  "erasure_codec_test"
+  "erasure_codec_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/erasure_codec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/erasure_matrix_test.dir/erasure_matrix_test.cpp.o"
+  "CMakeFiles/erasure_matrix_test.dir/erasure_matrix_test.cpp.o.d"
+  "erasure_matrix_test"
+  "erasure_matrix_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/erasure_matrix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/erasure_stripe_test.dir/erasure_stripe_test.cpp.o"
+  "CMakeFiles/erasure_stripe_test.dir/erasure_stripe_test.cpp.o.d"
+  "erasure_stripe_test"
+  "erasure_stripe_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/erasure_stripe_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geom_bbox_test.dir/geom_bbox_test.cpp.o"
+  "CMakeFiles/geom_bbox_test.dir/geom_bbox_test.cpp.o.d"
+  "geom_bbox_test"
+  "geom_bbox_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geom_bbox_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geom_partition_test.dir/geom_partition_test.cpp.o"
+  "CMakeFiles/geom_partition_test.dir/geom_partition_test.cpp.o.d"
+  "geom_partition_test"
+  "geom_partition_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geom_partition_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

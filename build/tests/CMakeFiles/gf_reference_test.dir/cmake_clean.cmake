@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gf_reference_test.dir/gf_reference_test.cpp.o"
+  "CMakeFiles/gf_reference_test.dir/gf_reference_test.cpp.o.d"
+  "gf_reference_test"
+  "gf_reference_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gf_reference_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

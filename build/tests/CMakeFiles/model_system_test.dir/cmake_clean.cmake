@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_system_test.dir/model_system_test.cpp.o"
+  "CMakeFiles/model_system_test.dir/model_system_test.cpp.o.d"
+  "model_system_test"
+  "model_system_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_system_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

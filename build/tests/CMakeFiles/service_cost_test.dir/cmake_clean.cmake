@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/service_cost_test.dir/service_cost_test.cpp.o"
+  "CMakeFiles/service_cost_test.dir/service_cost_test.cpp.o.d"
+  "service_cost_test"
+  "service_cost_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/service_cost_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/staging_directory_test.dir/staging_directory_test.cpp.o"
+  "CMakeFiles/staging_directory_test.dir/staging_directory_test.cpp.o.d"
+  "staging_directory_test"
+  "staging_directory_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/staging_directory_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

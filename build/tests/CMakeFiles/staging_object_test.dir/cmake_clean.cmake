@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/staging_object_test.dir/staging_object_test.cpp.o"
+  "CMakeFiles/staging_object_test.dir/staging_object_test.cpp.o.d"
+  "staging_object_test"
+  "staging_object_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/staging_object_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

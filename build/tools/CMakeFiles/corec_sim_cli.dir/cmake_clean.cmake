@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/corec_sim_cli.dir/corec_sim.cpp.o"
+  "CMakeFiles/corec_sim_cli.dir/corec_sim.cpp.o.d"
+  "corec-sim"
+  "corec-sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corec_sim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

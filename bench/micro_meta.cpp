@@ -1,0 +1,125 @@
+// Microbenchmarks of the metadata-resilience hot paths: op-log append
+// and replay, and directory snapshot/restore, as a function of the
+// directory size. Same harness/JSON shape as the other micro_* benches
+// (run with --benchmark_format=json).
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "meta/meta_log.hpp"
+#include "staging/directory.hpp"
+#include "staging/wire.hpp"
+
+namespace {
+
+using corec::Bytes;
+using corec::meta::MetaLog;
+using corec::staging::Directory;
+using corec::staging::MetaOpKind;
+using corec::staging::ObjectDescriptor;
+using corec::staging::ObjectLocation;
+using corec::staging::OpRecord;
+
+ObjectDescriptor make_desc(std::uint64_t i) {
+  ObjectDescriptor desc;
+  desc.var = static_cast<corec::VarId>(1 + (i % 7));
+  desc.version = static_cast<corec::Version>(i / 7);
+  desc.box = corec::geom::BoundingBox::cube(
+      static_cast<std::int64_t>((i % 64) * 16), 0, 0,
+      static_cast<std::int64_t>((i % 64) * 16 + 15), 15, 15);
+  return desc;
+}
+
+ObjectLocation make_loc(std::uint64_t i) {
+  ObjectLocation loc;
+  loc.primary = static_cast<corec::ServerId>(i % 32);
+  loc.protection = corec::staging::Protection::kReplicated;
+  loc.replicas = {static_cast<corec::ServerId>((i + 1) % 32),
+                  static_cast<corec::ServerId>((i + 2) % 32)};
+  loc.logical_size = 1u << 20;
+  return loc;
+}
+
+Directory make_directory(std::int64_t entries) {
+  Directory dir;
+  for (std::int64_t i = 0; i < entries; ++i) {
+    dir.upsert(make_desc(static_cast<std::uint64_t>(i)),
+               make_loc(static_cast<std::uint64_t>(i)));
+  }
+  return dir;
+}
+
+void BM_OpLogAppend(benchmark::State& state) {
+  const std::int64_t ops = state.range(0);
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    MetaLog log;
+    for (std::int64_t i = 0; i < ops; ++i) {
+      log.append(MetaOpKind::kUpsert,
+                 make_desc(static_cast<std::uint64_t>(i)),
+                 make_loc(static_cast<std::uint64_t>(i)));
+    }
+    bytes = log.encoded_bytes();
+    benchmark::DoNotOptimize(log);
+  }
+  state.SetItemsProcessed(state.iterations() * ops);
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_OpLogAppend)->Range(64, 1 << 14);
+
+void BM_OpLogReplay(benchmark::State& state) {
+  const std::int64_t ops = state.range(0);
+  MetaLog log;
+  for (std::int64_t i = 0; i < ops; ++i) {
+    log.append(MetaOpKind::kUpsert, make_desc(static_cast<std::uint64_t>(i)),
+               make_loc(static_cast<std::uint64_t>(i)));
+  }
+  Bytes tail = log.encode_tail(0);
+  for (auto _ : state) {
+    auto ops_or = MetaLog::decode_tail(tail);
+    Directory dir;
+    for (const OpRecord& op : ops_or.value()) {
+      corec::staging::apply_op_record(op, &dir);
+    }
+    benchmark::DoNotOptimize(dir);
+  }
+  state.SetItemsProcessed(state.iterations() * ops);
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(tail.size()));
+}
+BENCHMARK(BM_OpLogReplay)->Range(64, 1 << 14);
+
+void BM_SnapshotDirectory(benchmark::State& state) {
+  Directory dir = make_directory(state.range(0));
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    Bytes snap = corec::staging::snapshot_directory(dir);
+    bytes = snap.size();
+    benchmark::DoNotOptimize(snap);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_SnapshotDirectory)->Range(64, 1 << 14);
+
+void BM_RestoreDirectory(benchmark::State& state) {
+  Directory dir = make_directory(state.range(0));
+  Bytes snap = corec::staging::snapshot_directory(dir);
+  for (auto _ : state) {
+    Directory restored;
+    benchmark::DoNotOptimize(
+        corec::staging::restore_directory(snap, &restored));
+    benchmark::DoNotOptimize(restored);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(snap.size()));
+}
+BENCHMARK(BM_RestoreDirectory)->Range(64, 1 << 14);
+
+}  // namespace
+
+BENCHMARK_MAIN();

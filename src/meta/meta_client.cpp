@@ -1,0 +1,64 @@
+#include "meta/meta_client.hpp"
+
+namespace corec::meta {
+namespace {
+
+// Read target when the whole replica group is gone: an empty directory,
+// so reads observe "nothing staged" instead of stale state.
+const Directory& empty_directory() {
+  static const Directory kEmpty;
+  return kEmpty;
+}
+
+}  // namespace
+
+SimTime MetaClient::upsert(const ObjectDescriptor& desc,
+                           ObjectLocation location) {
+  return service_->apply(MetaOpKind::kUpsert, desc, location);
+}
+
+bool MetaClient::remove(const ObjectDescriptor& desc) {
+  if (state().find(desc) == nullptr) return false;
+  service_->apply(MetaOpKind::kRemove, desc, ObjectLocation{});
+  return true;
+}
+
+const ObjectLocation* MetaClient::find(const ObjectDescriptor& desc) const {
+  return state().find(desc);
+}
+
+std::vector<ObjectDescriptor> MetaClient::query(
+    VarId var, Version version, const geom::BoundingBox& region) const {
+  return state().query(var, version, region);
+}
+
+std::vector<ObjectDescriptor> MetaClient::query_latest(
+    VarId var, Version version, const geom::BoundingBox& region) const {
+  return state().query_latest(var, version, region);
+}
+
+const ObjectDescriptor* MetaClient::find_entity(
+    VarId var, const geom::BoundingBox& box) const {
+  return state().find_entity(var, box);
+}
+
+std::size_t MetaClient::size() const { return state().size(); }
+
+void MetaClient::for_each(const VisitFn& fn) const {
+  state().for_each(fn);
+}
+
+const Directory& MetaClient::state() const {
+  return service_->available() ? service_->primary_directory()
+                               : empty_directory();
+}
+
+void MetaClient::on_server_failed(ServerId s, SimTime now) {
+  service_->on_server_failed(s, now);
+}
+
+void MetaClient::on_server_replaced(ServerId s, SimTime now) {
+  service_->on_server_replaced(s, now);
+}
+
+}  // namespace corec::meta

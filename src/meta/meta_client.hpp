@@ -1,0 +1,44 @@
+// MetadataPlane adapter over the replicated metadata service. Attach to
+// a StagingService (service.attach_metadata(&client)) and every
+// directory access the staging paths make is served by the current
+// metadata primary; mutations replicate through the op-log and their
+// acknowledgement times feed the durability accounting.
+#pragma once
+
+#include "meta/meta_service.hpp"
+#include "staging/metadata.hpp"
+
+namespace corec::meta {
+
+class MetaClient final : public staging::MetadataPlane {
+ public:
+  explicit MetaClient(MetaService* service) : service_(service) {}
+
+  SimTime upsert(const ObjectDescriptor& desc,
+                 ObjectLocation location) override;
+  bool remove(const ObjectDescriptor& desc) override;
+  const ObjectLocation* find(const ObjectDescriptor& desc) const override;
+  std::vector<ObjectDescriptor> query(
+      VarId var, Version version,
+      const geom::BoundingBox& region) const override;
+  std::vector<ObjectDescriptor> query_latest(
+      VarId var, Version version,
+      const geom::BoundingBox& region) const override;
+  const ObjectDescriptor* find_entity(
+      VarId var, const geom::BoundingBox& box) const override;
+  std::size_t size() const override;
+  void for_each(const VisitFn& fn) const override;
+  const Directory& state() const override;
+
+  void on_server_failed(ServerId s, SimTime now) override;
+  void on_server_replaced(ServerId s, SimTime now) override;
+  bool available() const override { return service_->available(); }
+
+  MetaService& meta() { return *service_; }
+  const MetaService& meta() const { return *service_; }
+
+ private:
+  MetaService* service_;
+};
+
+}  // namespace corec::meta

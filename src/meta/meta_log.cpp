@@ -1,0 +1,92 @@
+#include "meta/meta_log.hpp"
+
+namespace corec::meta {
+namespace {
+
+// Log-tail format versioning, distinct from the snapshot magic.
+constexpr std::uint32_t kLogTailMagic = 0xC0DEC002;
+
+}  // namespace
+
+const OpRecord& MetaLog::append(MetaOpKind kind,
+                                const ObjectDescriptor& desc,
+                                const ObjectLocation& loc) {
+  OpRecord op;
+  op.seq = next_seq_++;
+  op.kind = kind;
+  op.desc = desc;
+  if (kind == MetaOpKind::kUpsert) op.loc = loc;
+  records_.push_back(std::move(op));
+  encoded_bytes_ += record_bytes(records_.back());
+  return records_.back();
+}
+
+void MetaLog::compact_to(std::uint64_t through_seq) {
+  while (!records_.empty() && records_.front().seq <= through_seq) {
+    encoded_bytes_ -= record_bytes(records_.front());
+    records_.pop_front();
+  }
+  if (through_seq > base_seq_) base_seq_ = through_seq;
+}
+
+void MetaLog::reset(std::uint64_t durable_seq) {
+  records_.clear();
+  encoded_bytes_ = 0;
+  base_seq_ = durable_seq;
+  next_seq_ = durable_seq + 1;
+}
+
+Bytes MetaLog::encode_tail(std::uint64_t after_seq) const {
+  std::uint64_t count = 0;
+  for (const OpRecord& op : records_) {
+    if (op.seq > after_seq) ++count;
+  }
+  Bytes out;
+  BufferWriter w(&out);
+  w.put<std::uint32_t>(kLogTailMagic);
+  w.put<std::uint64_t>(count);
+  for (const OpRecord& op : records_) {
+    if (op.seq > after_seq) staging::encode_op_record(op, &w);
+  }
+  return out;
+}
+
+StatusOr<std::vector<OpRecord>> MetaLog::decode_tail(ByteSpan tail) {
+  BufferReader r(tail);
+  std::uint32_t magic = 0;
+  COREC_RETURN_IF_ERROR(r.get(&magic));
+  if (magic != kLogTailMagic) {
+    return Status::InvalidArgument("not an op-log tail");
+  }
+  std::uint64_t count = 0;
+  COREC_RETURN_IF_ERROR(r.get(&count));
+  // Each record is >= 9 bytes; a count beyond the remaining byte count
+  // is corrupt for sure — fail before looping on it.
+  if (count > r.remaining()) {
+    return Status::InvalidArgument("op-log tail count exceeds buffer");
+  }
+  std::vector<OpRecord> ops;
+  ops.reserve(static_cast<std::size_t>(count));
+  std::uint64_t prev_seq = 0;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    COREC_ASSIGN_OR_RETURN(OpRecord op, staging::decode_op_record(&r));
+    if (i != 0 && op.seq != prev_seq + 1) {
+      return Status::InvalidArgument("op-log tail sequence gap");
+    }
+    prev_seq = op.seq;
+    ops.push_back(std::move(op));
+  }
+  if (r.remaining() != 0) {
+    return Status::InvalidArgument("trailing bytes in op-log tail");
+  }
+  return ops;
+}
+
+std::size_t MetaLog::record_bytes(const OpRecord& op) {
+  Bytes scratch;
+  BufferWriter w(&scratch);
+  staging::encode_op_record(op, &w);
+  return scratch.size();
+}
+
+}  // namespace corec::meta

@@ -1,0 +1,76 @@
+// Append-only metadata op-log. The metadata primary serializes every
+// directory mutation (upsert/remove) into one OpRecord with a dense,
+// monotonically increasing sequence number, streams the encoded record
+// to its followers, and periodically compacts the log against a
+// directory snapshot: entries at or below the snapshot's sequence are
+// dropped, so log memory stays bounded by the snapshot interval.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+
+#include "common/buffer.hpp"
+#include "common/status.hpp"
+#include "staging/wire.hpp"
+
+namespace corec::meta {
+
+using staging::MetaOpKind;
+using staging::ObjectDescriptor;
+using staging::ObjectLocation;
+using staging::OpRecord;
+
+/// The primary's in-memory op-log: a deque of records covering
+/// sequence numbers (base_seq, last_seq].
+class MetaLog {
+ public:
+  /// Appends a mutation, assigning it the next sequence number.
+  /// Returns a reference to the stored record (valid until the next
+  /// mutation of the log).
+  const OpRecord& append(MetaOpKind kind, const ObjectDescriptor& desc,
+                         const ObjectLocation& loc);
+
+  /// Sequence of the newest record ever appended (0 = none yet).
+  std::uint64_t last_seq() const { return next_seq_ - 1; }
+
+  /// Highest sequence already folded into a snapshot; the log holds
+  /// records in (base_seq, last_seq].
+  std::uint64_t base_seq() const { return base_seq_; }
+
+  std::size_t size() const { return records_.size(); }
+
+  /// Encoded size of the retained records, for accounting.
+  std::size_t encoded_bytes() const { return encoded_bytes_; }
+
+  /// Drops records with seq <= `through_seq` (snapshot compaction).
+  void compact_to(std::uint64_t through_seq);
+
+  /// Restarts the log after failover: empty, with both base and last
+  /// sequence at `durable_seq`, so the new primary keeps the sequence
+  /// space dense and never reuses a number an old follower may hold.
+  void reset(std::uint64_t durable_seq);
+
+  /// Serializes records in (after_seq, last_seq] as a log tail
+  /// (magic + count + records), for follower catch-up.
+  Bytes encode_tail(std::uint64_t after_seq) const;
+
+  /// Decodes a buffer produced by encode_tail. Hardened like the
+  /// snapshot decoder: corrupt input yields a Status, never a crash.
+  static StatusOr<std::vector<OpRecord>> decode_tail(ByteSpan tail);
+
+  /// Encoded size of one record (what streaming it costs on the wire).
+  static std::size_t record_bytes(const OpRecord& op);
+
+  /// Iteration over the retained records, oldest first.
+  auto begin() const { return records_.begin(); }
+  auto end() const { return records_.end(); }
+
+ private:
+  std::deque<OpRecord> records_;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t base_seq_ = 0;
+  std::size_t encoded_bytes_ = 0;
+};
+
+}  // namespace corec::meta

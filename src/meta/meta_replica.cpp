@@ -1,0 +1,101 @@
+#include "meta/meta_replica.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace corec::meta {
+
+void MetaReplica::accept(const OpRecord& op, SimTime received) {
+  log_.push_back(ReplicaEntry{op, received});
+}
+
+void MetaReplica::install_snapshot(Bytes bytes, std::uint64_t seq,
+                                   SimTime received, bool truncate_log) {
+  if (truncate_log) log_.clear();
+  snapshots_.push_back(ReplicaSnapshot{std::move(bytes), seq, received});
+  std::sort(snapshots_.begin(), snapshots_.end(),
+            [](const ReplicaSnapshot& a, const ReplicaSnapshot& b) {
+              return a.seq < b.seq;
+            });
+  if (snapshots_.size() > 2) {
+    snapshots_.erase(snapshots_.begin(),
+                     snapshots_.end() - 2);
+  }
+}
+
+std::uint64_t MetaReplica::durable_seq(SimTime t) const {
+  // Newest snapshot whose bytes had landed by T.
+  std::uint64_t base = 0;
+  for (const ReplicaSnapshot& s : snapshots_) {
+    if (s.received <= t && s.seq > base) base = s.seq;
+  }
+  // Extend by contiguously received log entries.
+  std::uint64_t durable = base;
+  for (const ReplicaEntry& e : log_) {
+    if (e.received > t) continue;
+    if (e.op.seq <= durable) continue;
+    if (e.op.seq == durable + 1) {
+      durable = e.op.seq;
+    } else {
+      break;  // gap: everything above it needs the missing entry
+    }
+  }
+  return durable;
+}
+
+Status MetaReplica::materialize(std::uint64_t through_seq, Directory* dir,
+                                std::size_t* restored_bytes,
+                                std::size_t* replayed_ops) const {
+  if (restored_bytes != nullptr) *restored_bytes = 0;
+  if (replayed_ops != nullptr) *replayed_ops = 0;
+  // Newest snapshot at or below the target sequence.
+  const ReplicaSnapshot* base = nullptr;
+  for (const ReplicaSnapshot& s : snapshots_) {
+    if (s.seq <= through_seq && (base == nullptr || s.seq > base->seq)) {
+      base = &s;
+    }
+  }
+  std::uint64_t at = 0;
+  if (base != nullptr) {
+    COREC_RETURN_IF_ERROR(staging::restore_directory(base->bytes, dir));
+    at = base->seq;
+    if (restored_bytes != nullptr) *restored_bytes = base->bytes.size();
+  }
+  for (const ReplicaEntry& e : log_) {
+    if (e.op.seq <= at) continue;
+    if (e.op.seq > through_seq) break;
+    if (e.op.seq != at + 1) {
+      return Status::DataLoss("op-log gap during metadata materialize");
+    }
+    staging::apply_op_record(e.op, dir);
+    at = e.op.seq;
+    if (replayed_ops != nullptr) ++*replayed_ops;
+  }
+  if (at != through_seq) {
+    return Status::DataLoss("metadata replica missing log tail");
+  }
+  return Status::Ok();
+}
+
+void MetaReplica::discard_in_flight(SimTime t) {
+  snapshots_.erase(
+      std::remove_if(snapshots_.begin(), snapshots_.end(),
+                     [t](const ReplicaSnapshot& s) { return s.received > t; }),
+      snapshots_.end());
+  while (!log_.empty() && log_.back().received > t) log_.pop_back();
+}
+
+void MetaReplica::prune(SimTime now) {
+  std::uint64_t safe = 0;
+  for (const ReplicaSnapshot& s : snapshots_) {
+    if (s.received <= now && s.seq > safe) safe = s.seq;
+  }
+  while (!log_.empty() && log_.front().op.seq <= safe) log_.pop_front();
+}
+
+void MetaReplica::clear() {
+  snapshots_.clear();
+  log_.clear();
+}
+
+}  // namespace corec::meta

@@ -1,0 +1,98 @@
+// Follower-side state of one metadata replica: the snapshots and log
+// entries it has received, each stamped with the virtual time the bytes
+// landed on its host. Everything needed to answer the two failover
+// questions — "how caught up was this replica at time T?" and "rebuild
+// the directory as of sequence S" — without ever consulting the (dead)
+// primary.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "common/status.hpp"
+#include "staging/directory.hpp"
+#include "staging/wire.hpp"
+
+namespace corec::meta {
+
+using staging::Directory;
+using staging::OpRecord;
+
+/// One directory snapshot held by a follower.
+struct ReplicaSnapshot {
+  Bytes bytes;             // canonical snapshot_directory output
+  std::uint64_t seq = 0;   // log sequence the snapshot covers
+  SimTime received = 0;    // virtual time the bytes landed here
+};
+
+/// A log entry as received by a follower.
+struct ReplicaEntry {
+  OpRecord op;
+  SimTime received = 0;
+};
+
+/// Per-follower replication state. The owning MetaService drives all
+/// mutations; this class only keeps the receive history consistent.
+class MetaReplica {
+ public:
+  explicit MetaReplica(ServerId host) : host_(host) {}
+
+  ServerId host() const { return host_; }
+  bool alive() const { return alive_; }
+  void set_alive(bool alive) { alive_ = alive; }
+
+  /// Records receipt of one log entry at virtual time `received`.
+  /// Entries arrive in sequence order (the primary streams them over
+  /// one FIFO service queue).
+  void accept(const OpRecord& op, SimTime received);
+
+  /// Installs a snapshot received at `received`. Keeps at most the two
+  /// newest snapshots so a snapshot whose receive time is still in the
+  /// virtual future cannot orphan already-acknowledged log entries.
+  /// With `truncate_log` (failover reseed from the new primary) the
+  /// entire local log is dropped: entries from the dead primary above
+  /// the snapshot must not survive into the new sequence space.
+  void install_snapshot(Bytes bytes, std::uint64_t seq, SimTime received,
+                        bool truncate_log);
+
+  /// Highest sequence durable on this replica at virtual time T: the
+  /// newest snapshot received by T, extended by contiguously received
+  /// log entries with receive time <= T. Returns 0 when nothing usable
+  /// arrived yet.
+  std::uint64_t durable_seq(SimTime t) const;
+
+  /// Rebuilds the directory state as of `through_seq` (which must be
+  /// <= durable_seq(t) for the t used to pick it): restores the newest
+  /// usable snapshot, then replays the log tail. Reports the snapshot
+  /// bytes restored and entries replayed so the caller can charge
+  /// virtual time for the work.
+  Status materialize(std::uint64_t through_seq, Directory* dir,
+                     std::size_t* restored_bytes,
+                     std::size_t* replayed_ops) const;
+
+  /// Drops state whose receive time is after T — in-flight messages
+  /// from a primary that died at T never arrived.
+  void discard_in_flight(SimTime t);
+
+  /// Lazy compaction: with q* the newest snapshot sequence received by
+  /// `now`, entries with seq <= q* can never be needed again (any
+  /// future failover happens at T >= now, so that snapshot is always
+  /// usable), so drop them.
+  void prune(SimTime now);
+
+  /// Forgets everything (host died; replacement starts empty).
+  void clear();
+
+  std::size_t log_size() const { return log_.size(); }
+  std::size_t num_snapshots() const { return snapshots_.size(); }
+
+ private:
+  ServerId host_;
+  bool alive_ = true;
+  std::vector<ReplicaSnapshot> snapshots_;  // ordered by seq, <= 2 kept
+  std::deque<ReplicaEntry> log_;            // ordered by seq
+};
+
+}  // namespace corec::meta

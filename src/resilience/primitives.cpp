@@ -75,9 +75,12 @@ SimTime place_replicated(StagingService& service, const DataObject& obj,
       replicas.empty() ? Protection::kNone : Protection::kReplicated;
   loc.replicas = std::move(replicas);
   loc.logical_size = obj.logical_size;
-  service.directory().upsert(obj.desc, loc);
+  // The write is durable only once both the data copies and the
+  // metadata registration (which itself replicates under src/meta/)
+  // have landed.
+  SimTime meta_ack = service.directory().upsert(obj.desc, loc);
   bd->metadata += cost.metadata_op;
-  return durable + cost.metadata_op;
+  return std::max(durable + cost.metadata_op, meta_ack);
 }
 
 SimTime place_encoded(StagingService& service, const DataObject& obj,
@@ -179,9 +182,9 @@ SimTime place_encoded(StagingService& service, const DataObject& obj,
   loc.m = static_cast<std::uint32_t>(m);
   loc.chunk_size = chunk_size;
   loc.logical_size = obj.logical_size;
-  service.directory().upsert(obj.desc, loc);
+  SimTime meta_ack = service.directory().upsert(obj.desc, loc);
   bd->metadata += cost.metadata_op;
-  return durable + cost.metadata_op;
+  return std::max(durable + cost.metadata_op, meta_ack);
 }
 
 SimTime charge_stripe_peer_reads(StagingService& service,
@@ -227,7 +230,7 @@ void retire_object(StagingService& service, const ObjectDescriptor& desc) {
 SimTime rebuild_on(StagingService& service, const ObjectDescriptor& desc,
                    ServerId target, SimTime start, Breakdown* bd) {
   const auto& cost = service.cost();
-  ObjectLocation* loc = service.directory().find_mutable(desc);
+  const ObjectLocation* loc = service.directory().find(desc);
   if (loc == nullptr || !service.alive(target)) return start;
 
   if (loc->protection != Protection::kEncoded) {

@@ -25,6 +25,7 @@ StagingService::StagingService(ServiceOptions options, sim::Simulation* sim,
       sim_(sim),
       scheme_(std::move(scheme)),
       mapper_(options_.domain, options_.curve),
+      meta_(&local_meta_),
       ring_(options_.topology.make_ring()),
       ring_pos_(invert_ring(ring_)),
       rng_(options_.seed, 0x9e3779b97f4a7c15ULL) {
@@ -34,6 +35,12 @@ StagingService::StagingService(ServiceOptions options, sim::Simulation* sim,
   }
   sfc_key_span_ = std::uint64_t{1} << mapper_.key_bits();
   scheme_->bind(this);
+}
+
+void StagingService::attach_metadata(MetadataPlane* meta) {
+  assert(local_meta_.size() == 0 &&
+         "attach_metadata must run before any traffic");
+  meta_ = meta != nullptr ? meta : &local_meta_;
 }
 
 ServerId StagingService::ring_next(ServerId s, std::size_t steps) const {
@@ -104,6 +111,11 @@ OpResult StagingService::put_impl(VarId var, Version version,
     result.completed = t0;
     return result;
   }
+  if (!meta_->available()) {
+    result.status = Status::Unavailable("metadata plane unavailable");
+    result.completed = t0;
+    return result;
+  }
 
   // Algorithm 1: fit the object into target-size pieces.
   auto pieces = geom::partition_and_fit(box, options_.fit);
@@ -126,7 +138,7 @@ OpResult StagingService::put_impl(VarId var, Version version,
 
     // Region-entity update semantics: a put over the same (var, box)
     // replaces the previous version.
-    const ObjectDescriptor* prev_ptr = directory_.find_entity(var, piece.box);
+    const ObjectDescriptor* prev_ptr = meta_->find_entity(var, piece.box);
     ObjectDescriptor prev;
     if (prev_ptr != nullptr) prev = *prev_ptr;
 
@@ -170,8 +182,13 @@ OpResult StagingService::get(VarId var, Version version,
   const SimTime t0 = result.issued;
   const std::size_t elem = options_.fit.element_size;
 
+  if (!meta_->available()) {
+    result.status = Status::Unavailable("metadata plane unavailable");
+    result.completed = t0;
+    return result;
+  }
   result.breakdown.metadata += options_.cost.metadata_op;
-  auto descs = directory_.query_latest(var, version, box);
+  auto descs = meta_->query_latest(var, version, box);
   if (descs.empty()) {
     result.status = Status::NotFound("no staged data intersects region");
     result.completed = t0 + options_.cost.metadata_op;
@@ -231,7 +248,7 @@ StatusOr<SimTime> StagingService::read_piece(const ObjectDescriptor& desc,
                                              Bytes* piece_out,
                                              Breakdown* bd) {
   scheme_->on_access(desc, start);
-  const ObjectLocation* loc = directory_.find(desc);
+  const ObjectLocation* loc = meta_->find(desc);
   if (loc == nullptr) {
     return Status::NotFound("object missing from directory: " +
                             desc.to_string());
@@ -468,6 +485,9 @@ void StagingService::kill_server(ServerId s) {
   servers_[s].store.clear();
   servers_[s].queue.reset(sim_->now());
   ++servers_[s].failures;
+  // Metadata plane reacts first (failover elects a new primary) so the
+  // scheme's recovery work sees a live directory.
+  meta_->on_server_failed(s, sim_->now());
   scheme_->on_server_failed(s, sim_->now());
 }
 
@@ -476,12 +496,13 @@ void StagingService::replace_server(ServerId s) {
   if (servers_[s].alive) return;
   servers_[s].alive = true;
   servers_[s].queue.reset(sim_->now());
+  meta_->on_server_replaced(s, sim_->now());
   scheme_->on_server_replaced(s, sim_->now());
 }
 
 std::size_t StagingService::logical_bytes() const {
   std::size_t total = 0;
-  directory_.for_each(
+  meta_->for_each(
       [&total](const ObjectDescriptor&, const ObjectLocation& loc) {
         total += loc.logical_size;
       });

@@ -19,6 +19,7 @@
 #include "sfc/sfc.hpp"
 #include "sim/simulation.hpp"
 #include "staging/directory.hpp"
+#include "staging/metadata.hpp"
 #include "staging/object_store.hpp"
 #include "staging/request.hpp"
 #include "staging/scheme.hpp"
@@ -99,8 +100,16 @@ class StagingService {
   const net::CostModel& cost() const { return options_.cost; }
   const net::Topology& topology() const { return options_.topology; }
   const ServiceOptions& options() const { return options_; }
-  Directory& directory() { return directory_; }
-  const Directory& directory() const { return directory_; }
+
+  /// The metadata plane every directory read/write is routed through.
+  /// Defaults to an in-process single-copy Directory; attach_metadata
+  /// swaps in the replicated metadata service (src/meta/).
+  MetadataPlane& directory() { return *meta_; }
+  const MetadataPlane& directory() const { return *meta_; }
+
+  /// Replaces the metadata plane (non-owning). Must be called before
+  /// any traffic: entries already in the local plane are not migrated.
+  void attach_metadata(MetadataPlane* meta);
   Rng& rng() { return rng_; }
   ResilienceScheme& scheme() { return *scheme_; }
 
@@ -179,7 +188,8 @@ class StagingService {
   sim::Simulation* sim_;
   std::unique_ptr<ResilienceScheme> scheme_;
   sfc::SfcMapper mapper_;
-  Directory directory_;
+  LocalMetadata local_meta_;
+  MetadataPlane* meta_;  // points at local_meta_ unless attached
   std::vector<ServerState> servers_;
   std::vector<ServerId> ring_;
   std::vector<std::size_t> ring_pos_;

@@ -1,5 +1,9 @@
 #include "staging/wire.hpp"
 
+#include <algorithm>
+#include <utility>
+#include <vector>
+
 namespace corec::staging {
 namespace {
 
@@ -76,11 +80,17 @@ StatusOr<ObjectLocation> decode_location(BufferReader* r) {
   loc.protection = static_cast<Protection>(protection);
   std::uint32_t n = 0;
   COREC_RETURN_IF_ERROR(r->get(&n));
-  if (n > 1u << 20) return Status::InvalidArgument("replica count");
+  // Bound the count by the bytes actually present so corrupt or hostile
+  // length fields can neither over-allocate nor walk past the buffer.
+  if (n > 1u << 20 || n > r->remaining() / sizeof(ServerId)) {
+    return Status::InvalidArgument("replica count exceeds buffer");
+  }
   loc.replicas.resize(n);
   for (auto& s : loc.replicas) COREC_RETURN_IF_ERROR(r->get(&s));
   COREC_RETURN_IF_ERROR(r->get(&n));
-  if (n > 1u << 20) return Status::InvalidArgument("stripe width");
+  if (n > 1u << 20 || n > r->remaining() / sizeof(ServerId)) {
+    return Status::InvalidArgument("stripe width exceeds buffer");
+  }
   loc.stripe_servers.resize(n);
   for (auto& s : loc.stripe_servers) COREC_RETURN_IF_ERROR(r->get(&s));
   COREC_RETURN_IF_ERROR(r->get(&loc.k));
@@ -93,16 +103,40 @@ StatusOr<ObjectLocation> decode_location(BufferReader* r) {
   return loc;
 }
 
+bool descriptor_less(const ObjectDescriptor& a, const ObjectDescriptor& b) {
+  if (a.var != b.var) return a.var < b.var;
+  if (a.version != b.version) return a.version < b.version;
+  if (a.shard != b.shard) return a.shard < b.shard;
+  if (a.box.dims() != b.box.dims()) return a.box.dims() < b.box.dims();
+  for (std::size_t d = 0; d < a.box.dims(); ++d) {
+    if (a.box.lo()[d] != b.box.lo()[d]) return a.box.lo()[d] < b.box.lo()[d];
+    if (a.box.hi()[d] != b.box.hi()[d]) return a.box.hi()[d] < b.box.hi()[d];
+  }
+  return false;
+}
+
 Bytes snapshot_directory(const Directory& dir) {
+  // Canonical order: equal contents => identical bytes, no matter how
+  // the directory got there (live mutations vs snapshot + log replay).
+  std::vector<std::pair<ObjectDescriptor, const ObjectLocation*>> entries;
+  entries.reserve(dir.size());
+  dir.for_each([&entries](const ObjectDescriptor& desc,
+                          const ObjectLocation& loc) {
+    entries.emplace_back(desc, &loc);
+  });
+  std::sort(entries.begin(), entries.end(),
+            [](const auto& a, const auto& b) {
+              return descriptor_less(a.first, b.first);
+            });
+
   Bytes out;
   BufferWriter w(&out);
   w.put<std::uint32_t>(kSnapshotMagic);
-  w.put<std::uint64_t>(dir.size());
-  dir.for_each([&w](const ObjectDescriptor& desc,
-                    const ObjectLocation& loc) {
+  w.put<std::uint64_t>(entries.size());
+  for (const auto& [desc, loc] : entries) {
     encode_descriptor(desc, &w);
-    encode_location(loc, &w);
-  });
+    encode_location(*loc, &w);
+  }
   return out;
 }
 
@@ -115,15 +149,57 @@ Status restore_directory(ByteSpan snapshot, Directory* dir) {
   }
   std::uint64_t count = 0;
   COREC_RETURN_IF_ERROR(r.get(&count));
+  // Every record is dozens of bytes; a count beyond the remaining byte
+  // count is corrupt for sure — fail before looping on it.
+  if (count > r.remaining()) {
+    return Status::InvalidArgument("snapshot count exceeds buffer");
+  }
   for (std::uint64_t i = 0; i < count; ++i) {
     COREC_ASSIGN_OR_RETURN(ObjectDescriptor desc, decode_descriptor(&r));
     COREC_ASSIGN_OR_RETURN(ObjectLocation loc, decode_location(&r));
+    if (dir->find(desc) != nullptr) {
+      return Status::InvalidArgument("duplicate descriptor in snapshot: " +
+                                     desc.to_string());
+    }
     dir->upsert(desc, std::move(loc));
   }
   if (r.remaining() != 0) {
     return Status::InvalidArgument("trailing bytes in snapshot");
   }
   return Status::Ok();
+}
+
+void encode_op_record(const OpRecord& op, BufferWriter* w) {
+  w->put<std::uint64_t>(op.seq);
+  w->put<std::uint8_t>(static_cast<std::uint8_t>(op.kind));
+  encode_descriptor(op.desc, w);
+  if (op.kind == MetaOpKind::kUpsert) {
+    encode_location(op.loc, w);
+  }
+}
+
+StatusOr<OpRecord> decode_op_record(BufferReader* r) {
+  OpRecord op;
+  COREC_RETURN_IF_ERROR(r->get(&op.seq));
+  std::uint8_t kind = 0;
+  COREC_RETURN_IF_ERROR(r->get(&kind));
+  if (kind > static_cast<std::uint8_t>(MetaOpKind::kRemove)) {
+    return Status::InvalidArgument("bad op-log record kind");
+  }
+  op.kind = static_cast<MetaOpKind>(kind);
+  COREC_ASSIGN_OR_RETURN(op.desc, decode_descriptor(r));
+  if (op.kind == MetaOpKind::kUpsert) {
+    COREC_ASSIGN_OR_RETURN(op.loc, decode_location(r));
+  }
+  return op;
+}
+
+void apply_op_record(const OpRecord& op, Directory* dir) {
+  if (op.kind == MetaOpKind::kUpsert) {
+    dir->upsert(op.desc, op.loc);
+  } else {
+    dir->remove(op.desc);
+  }
 }
 
 }  // namespace corec::staging

@@ -1,7 +1,9 @@
 // Wire/persistence serialization for staging metadata: descriptors,
-// locations, and whole directory snapshots. Used to checkpoint the
-// metadata service alongside data (the restart path needs both) and to
-// ship directory state to replacement metadata servers.
+// locations, whole directory snapshots, and the replicated-metadata
+// op-log records. Used to checkpoint the metadata service alongside data
+// (the restart path needs both), to ship directory state to replacement
+// metadata servers, and to stream mutations from the metadata primary to
+// its follower replicas (src/meta/).
 #pragma once
 
 #include "common/buffer.hpp"
@@ -24,10 +26,42 @@ StatusOr<ObjectDescriptor> decode_descriptor(BufferReader* r);
 void encode_location(const ObjectLocation& loc, BufferWriter* w);
 StatusOr<ObjectLocation> decode_location(BufferReader* r);
 
-/// Serializes every (descriptor, location) pair of a directory.
+/// Strict weak order over descriptors (var, version, shard, box). Used
+/// to canonicalize snapshots so equal directory contents always produce
+/// identical bytes, whatever the mutation history.
+bool descriptor_less(const ObjectDescriptor& a, const ObjectDescriptor& b);
+
+/// Serializes every (descriptor, location) pair of a directory, in
+/// canonical (descriptor_less) order: two directories with equal
+/// contents snapshot to byte-identical buffers.
 Bytes snapshot_directory(const Directory& dir);
 
 /// Rebuilds a directory from a snapshot (into an empty directory).
+/// Snapshots naming the same descriptor twice are rejected with a
+/// "duplicate descriptor" InvalidArgument instead of silently keeping
+/// the last occurrence.
 Status restore_directory(ByteSpan snapshot, Directory* dir);
+
+// ---- replicated-metadata op-log records (src/meta/) ----------------------
+
+/// Kind tag of one op-log record.
+enum class MetaOpKind : std::uint8_t { kUpsert = 0, kRemove = 1 };
+
+/// One op-log record: a single directory mutation plus the sequence
+/// number the metadata primary assigned to it.
+struct OpRecord {
+  std::uint64_t seq = 0;
+  MetaOpKind kind = MetaOpKind::kUpsert;
+  ObjectDescriptor desc;
+  ObjectLocation loc;  // meaningful for kUpsert only
+};
+
+/// Appends one op-log record (seq, kind, descriptor, and for upserts the
+/// location).
+void encode_op_record(const OpRecord& op, BufferWriter* w);
+StatusOr<OpRecord> decode_op_record(BufferReader* r);
+
+/// Applies one op-log record to a directory (log replay).
+void apply_op_record(const OpRecord& op, Directory* dir);
 
 }  // namespace corec::staging

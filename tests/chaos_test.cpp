@@ -7,7 +7,11 @@
 //   * storage accounting matches the sum of representation sizes.
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include "core/corec_scheme.hpp"
+#include "meta/meta_client.hpp"
+#include "meta/meta_service.hpp"
 #include "net/failure.hpp"
 #include "workloads/driver.hpp"
 #include "workloads/mechanisms.hpp"
@@ -174,6 +178,67 @@ TEST_P(ChaosSeedTest, ReplicationWithTwoCopiesSurvivesSingles) {
 INSTANTIATE_TEST_SUITE_P(Seeds, ChaosSeedTest,
                          ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55,
                                            89));
+
+TEST_P(ChaosSeedTest, ReplicatedMetadataSurvivesMixedFailures) {
+  // CoREC data plane + replicated metadata plane under a rotating storm
+  // that alternates whole-node kills (hitting metadata replica hosts on
+  // purpose) with pure metadata-process kills of the current primary.
+  std::uint64_t seed = GetParam();
+  MechanismParams params;
+  params.recovery.mtbf_seconds = 0.08;
+
+  sim::Simulation sim;
+  staging::StagingService service(chaos_service_options(), &sim,
+                                  make_scheme(Mechanism::kCorec, params));
+  meta::MetaService meta_service(&service, {});
+  meta::MetaClient meta_client(&meta_service);
+  service.attach_metadata(&meta_client);
+  WorkloadDriver driver(&service, {.verify_reads = true});
+
+  Rng rng(seed * 977 + 11);
+  auto meta_hosts = meta_service.replica_hosts();
+  for (Version step = 2; step + 2 < chaos_workload().time_steps;
+       step += 3) {
+    if (rng.uniform(2) == 0) {
+      // Whole-node kill of a random server, biased toward the replica
+      // group half the time so metadata failover is actually exercised.
+      ServerId victim =
+          rng.uniform(2) == 0
+              ? meta_hosts[rng.uniform(
+                    static_cast<std::uint32_t>(meta_hosts.size()))]
+              : static_cast<ServerId>(rng.uniform(
+                    static_cast<std::uint32_t>(service.num_servers())));
+      driver.add_hook(step, [&service, victim] {
+        service.kill_server(victim);
+      });
+      driver.add_hook(step + 1, [&service, victim] {
+        service.replace_server(victim);
+      });
+    } else {
+      // Pure metadata-process kill of whoever is primary at that step,
+      // with the process restarted (empty, catching up) one step later
+      // — otherwise repeated elections drain the replica group.
+      auto killed = std::make_shared<ServerId>(kInvalidServer);
+      driver.add_hook(step, [&meta_service, killed] {
+        *killed = meta_service.primary_host();
+        meta_service.fail_replica(*killed);
+      });
+      driver.add_hook(step + 1, [&meta_service, killed] {
+        if (*killed != kInvalidServer) {
+          meta_service.restore_replica(*killed);
+        }
+      });
+    }
+  }
+
+  auto metrics = driver.run(make_synthetic_case(3, chaos_workload()));
+  EXPECT_TRUE(meta_service.available()) << "seed " << seed;
+  EXPECT_EQ(metrics.corrupt_reads(), 0u) << "seed " << seed;
+  EXPECT_EQ(metrics.data_loss_reads(), 0u) << "seed " << seed;
+  EXPECT_EQ(meta_service.stats().ops_lost_unacked, 0u) << "seed " << seed;
+  audit_directory(service);
+  audit_accounting(service);
+}
 
 TEST(Chaos, MtbfDrivenStormNeverCorrupts) {
   // Full random storm through the FailureInjector, phantom payloads

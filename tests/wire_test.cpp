@@ -155,5 +155,143 @@ TEST(Wire, RejectsBadProtectionTag) {
   EXPECT_FALSE(decode_location(&r).ok());
 }
 
+TEST(Wire, RejectsHostileReplicaCount) {
+  // A length field claiming more entries than the buffer can hold must
+  // fail fast instead of over-allocating or walking off the end.
+  Bytes buf;
+  BufferWriter w(&buf);
+  w.put<ServerId>(0);
+  w.put<std::uint8_t>(
+      static_cast<std::uint8_t>(Protection::kReplicated));
+  w.put<std::uint32_t>(0xFFFFFFFFu);  // replica count
+  BufferReader r(buf);
+  auto decoded = decode_location(&r);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Wire, RejectsDuplicateDescriptorInSnapshot) {
+  Directory dir;
+  dir.upsert(sample_desc(), sample_encoded_location());
+  Bytes snapshot = snapshot_directory(dir);
+
+  // Forge a snapshot naming the same descriptor twice: double the
+  // record, patch the count from 1 to 2.
+  Bytes forged;
+  BufferWriter w(&forged);
+  w.put<std::uint32_t>(0xC0DEC001);
+  w.put<std::uint64_t>(2);
+  const std::size_t header = sizeof(std::uint32_t) + sizeof(std::uint64_t);
+  for (int rep = 0; rep < 2; ++rep) {
+    forged.insert(forged.end(), snapshot.begin() + header, snapshot.end());
+  }
+  Directory restored;
+  Status st = restore_directory(forged, &restored);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("duplicate"), std::string::npos)
+      << st.to_string();
+}
+
+TEST(Wire, SnapshotBytesAreCanonical) {
+  // Same contents, different mutation history => identical bytes.
+  Directory a;
+  Directory b;
+  for (Version v = 0; v < 6; ++v) {
+    ObjectDescriptor desc{2, v, geom::BoundingBox::rect(v * 8, 0, v * 8 + 7, 7),
+                          kWholeObject};
+    a.upsert(desc, sample_encoded_location());
+  }
+  for (Version v = 6; v-- > 0;) {  // reverse order, with churn
+    ObjectDescriptor desc{2, v, geom::BoundingBox::rect(v * 8, 0, v * 8 + 7, 7),
+                          kWholeObject};
+    ObjectLocation junk;
+    junk.primary = 9;
+    b.upsert(desc, junk);
+    b.remove(desc);
+    b.upsert(desc, sample_encoded_location());
+  }
+  EXPECT_EQ(snapshot_directory(a), snapshot_directory(b));
+}
+
+TEST(Wire, OpRecordRoundTrip) {
+  OpRecord up;
+  up.seq = 77;
+  up.kind = MetaOpKind::kUpsert;
+  up.desc = sample_desc();
+  up.loc = sample_encoded_location();
+  OpRecord rm;
+  rm.seq = 78;
+  rm.kind = MetaOpKind::kRemove;
+  rm.desc = sample_desc();
+
+  Bytes buf;
+  BufferWriter w(&buf);
+  encode_op_record(up, &w);
+  encode_op_record(rm, &w);
+
+  BufferReader r(buf);
+  auto up2 = decode_op_record(&r);
+  ASSERT_TRUE(up2.ok());
+  EXPECT_EQ(up2.value().seq, 77u);
+  EXPECT_EQ(up2.value().kind, MetaOpKind::kUpsert);
+  EXPECT_EQ(up2.value().desc, sample_desc());
+  EXPECT_EQ(up2.value().loc.stripe_servers,
+            sample_encoded_location().stripe_servers);
+  auto rm2 = decode_op_record(&r);
+  ASSERT_TRUE(rm2.ok());
+  EXPECT_EQ(rm2.value().seq, 78u);
+  EXPECT_EQ(rm2.value().kind, MetaOpKind::kRemove);
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(Wire, OpRecordRejectsBadKind) {
+  Bytes buf;
+  BufferWriter w(&buf);
+  w.put<std::uint64_t>(1);
+  w.put<std::uint8_t>(9);  // not a MetaOpKind
+  BufferReader r(buf);
+  EXPECT_FALSE(decode_op_record(&r).ok());
+}
+
+TEST(Wire, SnapshotDecodeSurvivesTruncationSweep) {
+  Directory dir;
+  for (Version v = 0; v < 4; ++v) {
+    ObjectDescriptor desc{1, v, geom::BoundingBox::rect(v * 4, 0, v * 4 + 3, 3),
+                          kWholeObject};
+    dir.upsert(desc, sample_encoded_location());
+  }
+  Bytes snapshot = snapshot_directory(dir);
+  // Every strict prefix must produce a clean error, never a crash or a
+  // silently partial restore that passes the trailing-bytes check.
+  for (std::size_t len = 0; len < snapshot.size(); ++len) {
+    Bytes prefix(snapshot.begin(),
+                 snapshot.begin() + static_cast<std::ptrdiff_t>(len));
+    Directory restored;
+    EXPECT_FALSE(restore_directory(prefix, &restored).ok())
+        << "prefix length " << len;
+  }
+}
+
+TEST(Wire, SnapshotDecodeSurvivesBitFlipSweep) {
+  Directory dir;
+  for (Version v = 0; v < 3; ++v) {
+    ObjectDescriptor desc{3, v, geom::BoundingBox::rect(v * 4, 0, v * 4 + 3, 3),
+                          kWholeObject};
+    dir.upsert(desc, sample_encoded_location());
+  }
+  Bytes snapshot = snapshot_directory(dir);
+  // Single-bit corruption anywhere must never crash or over-allocate;
+  // decoding either fails or yields a value-corrupted directory.
+  for (std::size_t byte = 0; byte < snapshot.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      Bytes flipped = snapshot;
+      flipped[byte] ^= static_cast<std::uint8_t>(1u << bit);
+      Directory restored;
+      Status st = restore_directory(flipped, &restored);
+      (void)st;  // reaching here without UB/crash is the assertion
+    }
+  }
+}
+
 }  // namespace
 }  // namespace corec::staging

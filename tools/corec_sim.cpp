@@ -11,10 +11,13 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "core/corec_scheme.hpp"
+#include "meta/meta_client.hpp"
+#include "meta/meta_service.hpp"
 #include "workloads/driver.hpp"
 #include "workloads/mechanisms.hpp"
 #include "workloads/s3d.hpp"
@@ -38,6 +41,10 @@ struct CliOptions {
   std::uint64_t seed = 42;
   bool csv = false;
   bool verify = false;
+  // Replicated metadata plane: follower count K (0 = plain local
+  // directory), plus optional primary-kill steps.
+  std::size_t meta_followers = 0;
+  std::vector<Version> meta_kills;
   // step:server pairs
   std::vector<std::pair<Version, ServerId>> fails;
   std::vector<std::pair<Version, ServerId>> replaces;
@@ -62,6 +69,10 @@ void usage() {
       "  --floor F           storage efficiency floor (default 0.67)\n"
       "  --fail TS:SRV       kill server SRV at step TS (repeatable)\n"
       "  --replace TS:SRV    replace server SRV at step TS (repeatable)\n"
+      "  --meta K            replicate the metadata directory on a\n"
+      "                      primary + K followers (default: local)\n"
+      "  --meta-kill TS      kill the metadata primary process at step\n"
+      "                      TS (repeatable; requires --meta)\n"
       "  --seed N            RNG seed\n"
       "  --verify            real payloads + byte verification\n"
       "  --csv               per-step CSV on stdout\n");
@@ -124,6 +135,11 @@ bool parse_args(int argc, char** argv, CliOptions* cli) {
       cli->floor = std::atof(next());
     } else if (a == "--seed") {
       cli->seed = std::strtoull(next(), nullptr, 10);
+    } else if (a == "--meta") {
+      cli->meta_followers = static_cast<std::size_t>(std::atol(next()));
+    } else if (a == "--meta-kill") {
+      cli->meta_kills.push_back(
+          static_cast<Version>(std::atol(next())));
     } else if (a == "--csv") {
       cli->csv = true;
     } else if (a == "--verify") {
@@ -207,9 +223,26 @@ int main(int argc, char** argv) {
   sim::Simulation sim;
   staging::StagingService service(service_opts, &sim,
                                   make_scheme(mechanism, params));
+  std::unique_ptr<meta::MetaService> meta_service;
+  std::unique_ptr<meta::MetaClient> meta_client;
+  if (cli.meta_followers > 0) {
+    meta::MetaOptions meta_opts;
+    meta_opts.followers = cli.meta_followers;
+    meta_service = std::make_unique<meta::MetaService>(&service, meta_opts);
+    meta_client = std::make_unique<meta::MetaClient>(meta_service.get());
+    service.attach_metadata(meta_client.get());
+  } else if (!cli.meta_kills.empty()) {
+    std::fprintf(stderr, "--meta-kill requires --meta K\n");
+    return 2;
+  }
   DriverOptions driver_opts;
   driver_opts.verify_reads = cli.verify;
   WorkloadDriver driver(&service, driver_opts);
+  for (Version step : cli.meta_kills) {
+    driver.add_hook(step, [&meta_service] {
+      meta_service->fail_replica(meta_service->primary_host());
+    });
+  }
   for (auto [step, server] : cli.fails) {
     driver.add_hook(step,
                     [&service, s = server] { service.kill_server(s); });
@@ -263,6 +296,28 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(
                     corec->stats().promotions),
                 corec->repair_backlog());
+  }
+  if (meta_service != nullptr) {
+    const auto& ms = meta_service->stats();
+    // Report the group the service actually built (the requested K is
+    // clamped to the number of servers) as it stands at run end.
+    std::size_t group = meta_service->replica_hosts().size();
+    std::printf("metadata        : primary+%zu followers, %llu ops logged"
+                " (%llu B streamed), %llu snapshots (%llu B shipped)\n",
+                group - (meta_service->available() ? 1 : 0),
+                static_cast<unsigned long long>(ms.ops_logged),
+                static_cast<unsigned long long>(ms.log_bytes_streamed),
+                static_cast<unsigned long long>(ms.snapshots_taken),
+                static_cast<unsigned long long>(ms.snapshot_bytes_shipped));
+    std::printf("meta latencies  : replication lag %.1f us avg; "
+                "%llu failover(s) %.1f us avg; %llu catch-up(s) %.1f us "
+                "avg; %llu unacked op(s) lost\n",
+                ms.replication_lag.mean() / 1e3,
+                static_cast<unsigned long long>(ms.failovers),
+                ms.failover_time.mean() / 1e3,
+                static_cast<unsigned long long>(ms.catchups),
+                ms.catchup_time.mean() / 1e3,
+                static_cast<unsigned long long>(ms.ops_lost_unacked));
   }
   if (cli.verify) {
     std::printf("verification    : %s\n",

@@ -1,13 +1,24 @@
 // Microbenchmark: GF(2^8) kernel throughput — the region operations
 // that dominate Reed-Solomon encode/decode cost. Feeds the cost-model
 // calibration (net::calibrate_encode_rate).
+//
+// Benchmarks are registered once per kernel this build/CPU can run
+// (portable/ssse3/avx2), so one run reports the scalar baseline next
+// to the SIMD kernels. `--benchmark_format=json` (or
+// tools/bench_gf_json.sh) emits the machine-readable form tracked in
+// BENCH_gf.json.
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
+#include <string>
 #include <vector>
 
 #include "gf/gf256.hpp"
+#include "gf/gf256_simd.hpp"
 
 namespace {
+
+using corec::gf::Kernels;
 
 std::vector<std::uint8_t> make_buf(std::size_t n, unsigned salt) {
   std::vector<std::uint8_t> b(n);
@@ -17,32 +28,54 @@ std::vector<std::uint8_t> make_buf(std::size_t n, unsigned salt) {
   return b;
 }
 
-void BM_RegionMulAdd(benchmark::State& state) {
+void BM_RegionMulAdd(benchmark::State& state, const Kernels* kernels) {
   std::size_t n = static_cast<std::size_t>(state.range(0));
   auto src = make_buf(n, 1);
   auto dst = make_buf(n, 2);
   std::uint8_t c = 0x57;
   for (auto _ : state) {
-    corec::gf::region_mul_add(c, src, dst);
+    kernels->mul_add(c, src.data(), dst.data(), n);
     benchmark::DoNotOptimize(dst.data());
   }
   state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(n));
 }
-BENCHMARK(BM_RegionMulAdd)->Range(1 << 10, 1 << 22);
 
-void BM_RegionXor(benchmark::State& state) {
+void BM_RegionXor(benchmark::State& state, const Kernels* kernels) {
   std::size_t n = static_cast<std::size_t>(state.range(0));
   auto src = make_buf(n, 3);
   auto dst = make_buf(n, 4);
   for (auto _ : state) {
-    corec::gf::region_xor(src, dst);
+    kernels->xor_into(src.data(), dst.data(), n);
     benchmark::DoNotOptimize(dst.data());
   }
   state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(n));
 }
-BENCHMARK(BM_RegionXor)->Range(1 << 10, 1 << 22);
+
+/// The fused RS parity row: dst ^= sum of k coefficient-scaled sources
+/// in one pass. Bytes processed counts the k source streams — the
+/// figure comparable to per-source region_mul_add calls.
+void BM_RegionMulAddMulti(benchmark::State& state, const Kernels* kernels) {
+  constexpr std::size_t kSources = 6;
+  std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::vector<std::vector<std::uint8_t>> bufs;
+  std::vector<const std::uint8_t*> srcs;
+  std::uint8_t coeffs[kSources];
+  for (std::size_t j = 0; j < kSources; ++j) {
+    bufs.push_back(make_buf(n, static_cast<unsigned>(j)));
+    srcs.push_back(bufs.back().data());
+    coeffs[j] = static_cast<std::uint8_t>(0x1d + 31 * j);
+  }
+  auto dst = make_buf(n, 99);
+  for (auto _ : state) {
+    kernels->mul_add_multi(coeffs, srcs.data(), kSources, dst.data(), n,
+                           true);
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n * kSources));
+}
 
 void BM_ScalarMul(benchmark::State& state) {
   std::uint8_t acc = 1;
@@ -63,6 +96,30 @@ void BM_ScalarInv(benchmark::State& state) {
 }
 BENCHMARK(BM_ScalarInv);
 
+void register_region_benchmarks() {
+  for (const Kernels* k : corec::gf::detail::available_kernels()) {
+    std::string suffix = std::string("<") + k->name + ">";
+    benchmark::RegisterBenchmark(("BM_RegionMulAdd" + suffix).c_str(),
+                                 BM_RegionMulAdd, k)
+        ->Range(1 << 10, 1 << 22);
+    benchmark::RegisterBenchmark(("BM_RegionXor" + suffix).c_str(),
+                                 BM_RegionXor, k)
+        ->Range(1 << 10, 1 << 22);
+    benchmark::RegisterBenchmark(("BM_RegionMulAddMulti" + suffix).c_str(),
+                                 BM_RegionMulAddMulti, k)
+        ->Range(1 << 10, 1 << 22);
+  }
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  register_region_benchmarks();
+  benchmark::AddCustomContext("gf_kernel_dispatched",
+                              corec::gf::kernel_name());
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

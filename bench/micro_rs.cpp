@@ -1,6 +1,10 @@
 // Microbenchmark: Reed-Solomon encode/decode throughput across stripe
 // geometries and block sizes, Vandermonde vs Cauchy construction, and
-// incremental parity update.
+// incremental parity update. The encode/decode paths run on the fused
+// multi-source GF kernels; the dispatched kernel is recorded in the
+// benchmark context (force one with COREC_GF_KERNEL=portable|ssse3|
+// avx2). `--benchmark_format=json` / tools/bench_gf_json.sh emit the
+// machine-readable form tracked in BENCH_gf.json.
 #include <benchmark/benchmark.h>
 
 #include <memory>
@@ -8,6 +12,7 @@
 
 #include "common/rng.hpp"
 #include "erasure/codec.hpp"
+#include "gf/gf256_simd.hpp"
 
 namespace {
 
@@ -109,4 +114,12 @@ BENCHMARK(BM_RsUpdateParity);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::AddCustomContext("gf_kernel_dispatched",
+                              corec::gf::kernel_name());
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

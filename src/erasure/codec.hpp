@@ -31,15 +31,32 @@ class Codec {
 
   /// Computes parity[0..m) from data[0..k). All spans must share one
   /// block size; parity buffers are overwritten.
-  virtual Status encode(const std::vector<ByteSpan>& data,
-                        const std::vector<MutableByteSpan>& parity) const = 0;
+  Status encode(const std::vector<ByteSpan>& data,
+                const std::vector<MutableByteSpan>& parity) const {
+    return encode_view(data.data(), data.size(), parity.data(),
+                       parity.size());
+  }
 
   /// Reconstructs the blocks listed in `erased` (global indices:
   /// 0..k-1 data, k..n-1 parity). `blocks` holds all n block buffers;
   /// entries at erased indices are outputs, all others must contain the
   /// surviving contents. Fails with DataLoss if |erased| > m.
-  virtual Status decode(const std::vector<MutableByteSpan>& blocks,
-                        const std::vector<std::size_t>& erased) const = 0;
+  Status decode(const std::vector<MutableByteSpan>& blocks,
+                const std::vector<std::size_t>& erased) const {
+    return decode_view(blocks.data(), blocks.size(), erased.data(),
+                       erased.size());
+  }
+
+  /// Pointer-based primitives behind encode()/decode(). Callers that
+  /// manage their own span scratch (ParallelCoder slices one stripe
+  /// into many sub-stripes) use these directly to avoid materializing
+  /// a std::vector per call.
+  virtual Status encode_view(const ByteSpan* data, std::size_t nd,
+                             const MutableByteSpan* parity,
+                             std::size_t np) const = 0;
+  virtual Status decode_view(const MutableByteSpan* blocks,
+                             std::size_t nb, const std::size_t* erased,
+                             std::size_t ne) const = 0;
 
   /// Incremental parity maintenance: given the delta (old XOR new) of
   /// data block `index`, updates all parity blocks in place. This is the

@@ -1,7 +1,12 @@
 #include "erasure/parallel.hpp"
 
-#include <atomic>
 #include <algorithm>
+#include <atomic>
+#include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
 
 namespace corec::erasure {
 namespace {
@@ -23,7 +28,29 @@ class StatusCollector {
   Status first_;
 };
 
+std::size_t l2_cache_bytes() {
+#if defined(_SC_LEVEL2_CACHE_SIZE)
+  long v = sysconf(_SC_LEVEL2_CACHE_SIZE);
+  if (v > 0) return static_cast<std::size_t>(v);
+#endif
+  return 1u << 20;  // common desktop/server L2 when undetectable
+}
+
+/// L2-derived slice: one task touches n = k+m block slices, so aim for
+/// half the L2 across the whole sub-stripe, clamped to keep tasks
+/// meaningful but plentiful, and rounded to whole cache lines.
+std::size_t auto_slice_bytes(std::size_t stripe_width) {
+  static const std::size_t l2 = l2_cache_bytes();
+  std::size_t per_block = l2 / 2 / std::max<std::size_t>(stripe_width, 1);
+  per_block = std::clamp<std::size_t>(per_block, 16u << 10, 1u << 20);
+  return per_block & ~static_cast<std::size_t>(63);
+}
+
 }  // namespace
+
+std::size_t ParallelCoder::effective_slice_bytes() const {
+  return slice_bytes_ != 0 ? slice_bytes_ : auto_slice_bytes(codec_.n());
+}
 
 Status ParallelCoder::encode(
     const std::vector<ByteSpan>& data,
@@ -32,21 +59,30 @@ Status ParallelCoder::encode(
     return Status::InvalidArgument("parallel encode: no data blocks");
   }
   const std::size_t size = data[0].size();
-  if (pool_ == nullptr || size <= slice_bytes_) {
+  const std::size_t slice = effective_slice_bytes();
+  if (pool_ == nullptr || size <= slice) {
     return codec_.encode(data, parity);
   }
+  const std::size_t slices = (size + slice - 1) / slice;
+  const std::size_t kd = data.size();
+  const std::size_t kp = parity.size();
+  // Per-call scratch: every task's span table lives in these two flat
+  // arrays, so the hot path performs no per-slice allocations.
+  std::vector<ByteSpan> dspans(slices * kd);
+  std::vector<MutableByteSpan> pspans(slices * kp);
   StatusCollector collector;
-  for (std::size_t off = 0; off < size; off += slice_bytes_) {
-    std::size_t len = std::min(slice_bytes_, size - off);
-    // Sliced views: the i-th sub-stripe across every block.
-    std::vector<ByteSpan> d;
-    std::vector<MutableByteSpan> p;
-    d.reserve(data.size());
-    p.reserve(parity.size());
-    for (const auto& b : data) d.push_back(b.subspan(off, len));
-    for (const auto& b : parity) p.push_back(b.subspan(off, len));
-    pool_->submit([this, d = std::move(d), p = std::move(p),
-                   &collector] { collector.record(codec_.encode(d, p)); });
+  for (std::size_t s = 0; s < slices; ++s) {
+    const std::size_t off = s * slice;
+    const std::size_t len = std::min(slice, size - off);
+    ByteSpan* d = dspans.data() + s * kd;
+    MutableByteSpan* p = pspans.data() + s * kp;
+    for (std::size_t i = 0; i < kd; ++i) d[i] = data[i].subspan(off, len);
+    for (std::size_t i = 0; i < kp; ++i) {
+      p[i] = parity[i].subspan(off, len);
+    }
+    pool_->submit([this, d, kd, p, kp, &collector] {
+      collector.record(codec_.encode_view(d, kd, p, kp));
+    });
   }
   pool_->wait_idle();
   return collector.take();
@@ -59,17 +95,28 @@ Status ParallelCoder::decode(
     return Status::InvalidArgument("parallel decode: no blocks");
   }
   const std::size_t size = blocks[0].size();
-  if (pool_ == nullptr || size <= slice_bytes_) {
+  const std::size_t slice = effective_slice_bytes();
+  if (pool_ == nullptr || size <= slice) {
     return codec_.decode(blocks, erased);
   }
+  const std::size_t slices = (size + slice - 1) / slice;
+  const std::size_t nb = blocks.size();
+  std::vector<MutableByteSpan> bspans(slices * nb);
   StatusCollector collector;
-  for (std::size_t off = 0; off < size; off += slice_bytes_) {
-    std::size_t len = std::min(slice_bytes_, size - off);
-    std::vector<MutableByteSpan> b;
-    b.reserve(blocks.size());
-    for (const auto& blk : blocks) b.push_back(blk.subspan(off, len));
-    pool_->submit([this, b = std::move(b), erased, &collector] {
-      collector.record(codec_.decode(b, erased));
+  // Tasks share one read-only view of `erased` (decode_view) instead
+  // of copying the index vector into every closure; wait_idle() below
+  // keeps it alive past the last task.
+  const std::size_t* er = erased.data();
+  const std::size_t ne = erased.size();
+  for (std::size_t s = 0; s < slices; ++s) {
+    const std::size_t off = s * slice;
+    const std::size_t len = std::min(slice, size - off);
+    MutableByteSpan* b = bspans.data() + s * nb;
+    for (std::size_t i = 0; i < nb; ++i) {
+      b[i] = blocks[i].subspan(off, len);
+    }
+    pool_->submit([this, b, nb, er, ne, &collector] {
+      collector.record(codec_.decode_view(b, nb, er, ne));
     });
   }
   pool_->wait_idle();

@@ -21,9 +21,11 @@ class ParallelCoder {
  public:
   /// `slice_bytes` is the per-task block slice (granularity of the
   /// fan-out); small slices parallelize small payloads but add
-  /// scheduling overhead.
+  /// scheduling overhead. 0 (the default) sizes slices off the L2
+  /// cache so one task's working set — all k+m block slices — stays
+  /// cache-resident while the kernels sweep it.
   ParallelCoder(const Codec& codec, ThreadPool* pool,
-                std::size_t slice_bytes = 256u << 10)
+                std::size_t slice_bytes = 0)
       : codec_(codec), pool_(pool), slice_bytes_(slice_bytes) {}
 
   /// Parallel encode: same contract as Codec::encode.
@@ -33,6 +35,10 @@ class ParallelCoder {
   /// Parallel decode: same contract as Codec::decode.
   Status decode(const std::vector<MutableByteSpan>& blocks,
                 const std::vector<std::size_t>& erased) const;
+
+  /// The slice this coder would use for the wrapped codec's stripe
+  /// width (resolves the L2-derived default; exposed for tests).
+  std::size_t effective_slice_bytes() const;
 
  private:
   const Codec& codec_;

@@ -1,5 +1,7 @@
 #include <algorithm>
+#include <array>
 #include <cassert>
+#include <cstring>
 #include <sstream>
 
 #include "erasure/codec.hpp"
@@ -31,40 +33,46 @@ class ReedSolomonCodec final : public Codec {
     return os.str();
   }
 
-  Status encode(const std::vector<ByteSpan>& data,
-                const std::vector<MutableByteSpan>& parity) const override {
-    COREC_RETURN_IF_ERROR(check_blocks(data, parity));
+  Status encode_view(const ByteSpan* data, std::size_t nd,
+                     const MutableByteSpan* parity,
+                     std::size_t np) const override {
+    COREC_RETURN_IF_ERROR(check_blocks(data, nd, parity, np));
+    // Fused parity rows: each parity block is produced in one pass
+    // over the data with the coefficient row held in registers,
+    // instead of m separate zero-fill + k read-modify-write sweeps.
+    std::array<const std::uint8_t*, gf::kGroupOrder> srcs;
+    for (std::size_t d = 0; d < k_; ++d) srcs[d] = data[d].data();
     for (std::size_t p = 0; p < m_; ++p) {
-      std::fill(parity[p].begin(), parity[p].end(), 0);
-      const std::uint8_t* coeff = generator_.row(k_ + p);
-      for (std::size_t d = 0; d < k_; ++d) {
-        gf::region_mul_add(coeff[d], data[d], parity[p]);
-      }
+      gf::region_mul_multi(generator_.row(k_ + p), srcs.data(), k_,
+                           parity[p]);
     }
     return Status::Ok();
   }
 
-  Status decode(const std::vector<MutableByteSpan>& blocks,
-                const std::vector<std::size_t>& erased) const override {
-    if (blocks.size() != n()) {
+  Status decode_view(const MutableByteSpan* blocks, std::size_t nb,
+                     const std::size_t* erased,
+                     std::size_t ne) const override {
+    if (nb != n()) {
       return Status::InvalidArgument("decode: expected n blocks");
     }
-    if (erased.size() > m_) {
+    if (ne > m_) {
       return Status::DataLoss("more erasures than parity blocks");
     }
-    if (erased.empty()) return Status::Ok();
-    for (std::size_t e : erased) {
-      if (e >= n()) return Status::InvalidArgument("erased index range");
+    if (ne == 0) return Status::Ok();
+    for (std::size_t i = 0; i < ne; ++i) {
+      if (erased[i] >= n()) {
+        return Status::InvalidArgument("erased index range");
+      }
     }
     const std::size_t block_size = blocks[0].size();
-    for (const auto& b : blocks) {
-      if (b.size() != block_size) {
+    for (std::size_t i = 0; i < nb; ++i) {
+      if (blocks[i].size() != block_size) {
         return Status::InvalidArgument("decode: block size mismatch");
       }
     }
 
     std::vector<bool> is_erased(n(), false);
-    for (std::size_t e : erased) is_erased[e] = true;
+    for (std::size_t i = 0; i < ne; ++i) is_erased[erased[i]] = true;
 
     // Pick k surviving blocks; rows of the generator matrix restricted
     // to them form the decode system D = A * original.
@@ -78,26 +86,24 @@ class ReedSolomonCodec final : public Codec {
     GfMatrix a = generator_.select_rows(survivors);
     COREC_ASSIGN_OR_RETURN(GfMatrix a_inv, a.inverted());
 
-    // Reconstruct every erased *data* block: data[d] = sum_j
-    // a_inv[d][j] * survivor[j].
-    std::vector<std::size_t> erased_data, erased_parity;
-    for (std::size_t e : erased) {
-      (e < k_ ? erased_data : erased_parity).push_back(e);
+    // Reconstruct every erased *data* block in one fused pass:
+    // data[d] = sum_j a_inv[d][j] * survivor[j].
+    std::array<const std::uint8_t*, gf::kGroupOrder> srcs;
+    for (std::size_t j = 0; j < k_; ++j) {
+      srcs[j] = blocks[survivors[j]].data();
     }
-    for (std::size_t d : erased_data) {
-      std::fill(blocks[d].begin(), blocks[d].end(), 0);
-      for (std::size_t j = 0; j < k_; ++j) {
-        gf::region_mul_add(a_inv.at(d, j), blocks[survivors[j]],
-                           blocks[d]);
-      }
+    for (std::size_t i = 0; i < ne; ++i) {
+      std::size_t d = erased[i];
+      if (d >= k_) continue;
+      gf::region_mul_multi(a_inv.row(d), srcs.data(), k_, blocks[d]);
     }
     // Re-derive erased parity blocks from the (now complete) data.
-    for (std::size_t p : erased_parity) {
-      std::fill(blocks[p].begin(), blocks[p].end(), 0);
-      const std::uint8_t* coeff = generator_.row(p);
-      for (std::size_t d = 0; d < k_; ++d) {
-        gf::region_mul_add(coeff[d], blocks[d], blocks[p]);
-      }
+    for (std::size_t j = 0; j < k_; ++j) srcs[j] = blocks[j].data();
+    for (std::size_t i = 0; i < ne; ++i) {
+      std::size_t p = erased[i];
+      if (p < k_) continue;
+      gf::region_mul_multi(generator_.row(p), srcs.data(), k_,
+                           blocks[p]);
     }
     return Status::Ok();
   }
@@ -121,20 +127,20 @@ class ReedSolomonCodec final : public Codec {
   }
 
  private:
-  Status check_blocks(const std::vector<ByteSpan>& data,
-                      const std::vector<MutableByteSpan>& parity) const {
-    if (data.size() != k_ || parity.size() != m_) {
+  Status check_blocks(const ByteSpan* data, std::size_t nd,
+                      const MutableByteSpan* parity,
+                      std::size_t np) const {
+    if (nd != k_ || np != m_) {
       return Status::InvalidArgument("encode: wrong block counts");
     }
-    if (data.empty()) return Status::Ok();
     std::size_t size = data[0].size();
-    for (const auto& d : data) {
-      if (d.size() != size) {
+    for (std::size_t i = 0; i < nd; ++i) {
+      if (data[i].size() != size) {
         return Status::InvalidArgument("encode: data size mismatch");
       }
     }
-    for (const auto& p : parity) {
-      if (p.size() != size) {
+    for (std::size_t i = 0; i < np; ++i) {
+      if (parity[i].size() != size) {
         return Status::InvalidArgument("encode: parity size mismatch");
       }
     }
@@ -159,33 +165,41 @@ class XorCodec final : public Codec {
     return "xor(" + std::to_string(k_) + ",1)";
   }
 
-  Status encode(const std::vector<ByteSpan>& data,
-                const std::vector<MutableByteSpan>& parity) const override {
-    if (data.size() != k_ || parity.size() != 1) {
+  Status encode_view(const ByteSpan* data, std::size_t nd,
+                     const MutableByteSpan* parity,
+                     std::size_t np) const override {
+    if (nd != k_ || np != 1) {
       return Status::InvalidArgument("xor encode: block counts");
     }
-    std::fill(parity[0].begin(), parity[0].end(), 0);
-    for (const auto& d : data) {
-      if (d.size() != parity[0].size()) {
+    for (std::size_t i = 0; i < nd; ++i) {
+      if (data[i].size() != parity[0].size()) {
         return Status::InvalidArgument("xor encode: size mismatch");
       }
-      gf::region_xor(d, parity[0]);
+    }
+    if (parity[0].empty()) return Status::Ok();
+    // Seed parity with the first block, then accumulate the rest —
+    // skips the separate zero-fill pass.
+    std::memcpy(parity[0].data(), data[0].data(), parity[0].size());
+    for (std::size_t i = 1; i < nd; ++i) {
+      gf::region_xor(data[i], parity[0]);
     }
     return Status::Ok();
   }
 
-  Status decode(const std::vector<MutableByteSpan>& blocks,
-                const std::vector<std::size_t>& erased) const override {
-    if (blocks.size() != k_ + 1) {
+  Status decode_view(const MutableByteSpan* blocks, std::size_t nb,
+                     const std::size_t* erased,
+                     std::size_t ne) const override {
+    if (nb != k_ + 1) {
       return Status::InvalidArgument("xor decode: expected n blocks");
     }
-    if (erased.size() > 1) {
+    if (ne > 1) {
       return Status::DataLoss("xor tolerates one erasure");
     }
-    if (erased.empty()) return Status::Ok();
+    if (ne == 0) return Status::Ok();
     std::size_t e = erased[0];
+    if (e >= nb) return Status::InvalidArgument("erased index range");
     std::fill(blocks[e].begin(), blocks[e].end(), 0);
-    for (std::size_t i = 0; i < blocks.size(); ++i) {
+    for (std::size_t i = 0; i < nb; ++i) {
       if (i == e) continue;
       gf::region_xor(blocks[i], blocks[e]);
     }

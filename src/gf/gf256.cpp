@@ -3,6 +3,8 @@
 #include <cassert>
 #include <cstring>
 
+#include "gf/gf256_simd.hpp"
+
 namespace corec::gf {
 namespace detail {
 
@@ -39,18 +41,7 @@ std::uint8_t pow(std::uint8_t a, unsigned e) {
 void region_xor(std::span<const std::uint8_t> src,
                 std::span<std::uint8_t> dst) {
   assert(src.size() == dst.size());
-  std::size_t n = src.size();
-  std::size_t i = 0;
-  // Word-wide main loop; memcpy keeps it alias/alignment safe and the
-  // compiler lowers it to plain 64-bit loads/stores.
-  for (; i + 8 <= n; i += 8) {
-    std::uint64_t a, b;
-    std::memcpy(&a, src.data() + i, 8);
-    std::memcpy(&b, dst.data() + i, 8);
-    b ^= a;
-    std::memcpy(dst.data() + i, &b, 8);
-  }
-  for (; i < n; ++i) dst[i] ^= src[i];
+  kernels().xor_into(src.data(), dst.data(), dst.size());
 }
 
 void region_mul_add(std::uint8_t c, std::span<const std::uint8_t> src,
@@ -61,16 +52,7 @@ void region_mul_add(std::uint8_t c, std::span<const std::uint8_t> src,
     region_xor(src, dst);
     return;
   }
-  const auto& row = detail::tables().mul[c];
-  std::size_t n = src.size();
-  std::size_t i = 0;
-  for (; i + 4 <= n; i += 4) {
-    dst[i] ^= row[src[i]];
-    dst[i + 1] ^= row[src[i + 1]];
-    dst[i + 2] ^= row[src[i + 2]];
-    dst[i + 3] ^= row[src[i + 3]];
-  }
-  for (; i < n; ++i) dst[i] ^= row[src[i]];
+  kernels().mul_add(c, src.data(), dst.data(), dst.size());
 }
 
 void region_mul(std::uint8_t c, std::span<const std::uint8_t> src,
@@ -84,9 +66,54 @@ void region_mul(std::uint8_t c, std::span<const std::uint8_t> src,
     std::memcpy(dst.data(), src.data(), src.size());
     return;
   }
-  const auto& row = detail::tables().mul[c];
-  std::size_t n = src.size();
-  for (std::size_t i = 0; i < n; ++i) dst[i] = row[src[i]];
+  kernels().mul(c, src.data(), dst.data(), dst.size());
+}
+
+namespace {
+
+/// Drops zero coefficients (they contribute nothing and the kernels
+/// require nonzero rows). Returns the compacted count.
+inline std::size_t compact_nonzero(const std::uint8_t* coeffs,
+                                   const std::uint8_t* const* srcs,
+                                   std::size_t k, std::uint8_t* c_out,
+                                   const std::uint8_t** s_out) {
+  std::size_t nz = 0;
+  for (std::size_t j = 0; j < k; ++j) {
+    if (coeffs[j] != 0) {
+      c_out[nz] = coeffs[j];
+      s_out[nz] = srcs[j];
+      ++nz;
+    }
+  }
+  return nz;
+}
+
+}  // namespace
+
+void region_mul_add_multi(const std::uint8_t* coeffs,
+                          const std::uint8_t* const* srcs, std::size_t k,
+                          std::span<std::uint8_t> dst) {
+  assert(k <= kGroupOrder);
+  std::uint8_t c[kGroupOrder];
+  const std::uint8_t* s[kGroupOrder];
+  std::size_t nz = compact_nonzero(coeffs, srcs, k, c, s);
+  if (nz == 0 || dst.empty()) return;
+  kernels().mul_add_multi(c, s, nz, dst.data(), dst.size(), true);
+}
+
+void region_mul_multi(const std::uint8_t* coeffs,
+                      const std::uint8_t* const* srcs, std::size_t k,
+                      std::span<std::uint8_t> dst) {
+  assert(k <= kGroupOrder);
+  std::uint8_t c[kGroupOrder];
+  const std::uint8_t* s[kGroupOrder];
+  std::size_t nz = compact_nonzero(coeffs, srcs, k, c, s);
+  if (dst.empty()) return;
+  if (nz == 0) {
+    std::memset(dst.data(), 0, dst.size());
+    return;
+  }
+  kernels().mul_add_multi(c, s, nz, dst.data(), dst.size(), false);
 }
 
 }  // namespace corec::gf

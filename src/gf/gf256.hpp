@@ -2,7 +2,9 @@
 // Reed-Solomon coding. Provides scalar ops backed by log/exp tables plus
 // wide region operations (multiply-accumulate over buffers) that dominate
 // encode/decode cost. This is our substitute for the Jerasure library's
-// galois_* primitives.
+// galois_* primitives. Region ops dispatch to the fastest kernel the CPU
+// supports (AVX2/SSSE3 split-nibble PSHUFB or a portable table walk; see
+// gf256_simd.hpp).
 #pragma once
 
 #include <array>
@@ -26,7 +28,10 @@ namespace detail {
 struct Tables {
   std::array<std::uint8_t, 512> exp{};  // doubled to avoid mod in mul
   std::array<std::uint8_t, 256> log{};
-  // mul_table[a][b] = a*b; 64 KiB, resident in L2 — used for region ops.
+  // mul[a][b] = a*b. 64 KiB dense product table backing the scalar
+  // mul() and the portable region kernel; the SIMD kernels work from
+  // the 8 KiB split-nibble tables instead (gf256_simd.hpp) and never
+  // touch this table.
   std::array<std::array<std::uint8_t, 256>, 256> mul{};
   std::array<std::uint8_t, 256> inv{};
 
@@ -80,8 +85,8 @@ std::uint8_t div(std::uint8_t a, std::uint8_t b);
 /// Exponentiation a^e (e >= 0).
 std::uint8_t pow(std::uint8_t a, unsigned e);
 
-/// dst[i] ^= c * src[i] for all i. The Reed-Solomon inner loop; unrolled
-/// over the per-coefficient row of the multiplication table.
+/// dst[i] ^= c * src[i] for all i. The Reed-Solomon inner loop;
+/// dispatched to the selected SIMD/portable kernel.
 void region_mul_add(std::uint8_t c, std::span<const std::uint8_t> src,
                     std::span<std::uint8_t> dst);
 
@@ -89,8 +94,24 @@ void region_mul_add(std::uint8_t c, std::span<const std::uint8_t> src,
 void region_mul(std::uint8_t c, std::span<const std::uint8_t> src,
                 std::span<std::uint8_t> dst);
 
-/// dst[i] ^= src[i] for all i (the c == 1 fast path; word-wide XOR).
+/// dst[i] ^= src[i] for all i (the c == 1 fast path).
 void region_xor(std::span<const std::uint8_t> src,
                 std::span<std::uint8_t> dst);
+
+/// Fused multi-source accumulate: dst[i] ^= sum_j coeffs[j]*srcs[j][i],
+/// produced in a single pass over dst. Every srcs[j] must hold
+/// dst.size() readable bytes and must not overlap dst. This is the
+/// Reed-Solomon parity row evaluated without re-reading the parity
+/// buffer once per data block.
+void region_mul_add_multi(const std::uint8_t* coeffs,
+                          const std::uint8_t* const* srcs, std::size_t k,
+                          std::span<std::uint8_t> dst);
+
+/// Fused multi-source overwrite: dst[i] = sum_j coeffs[j]*srcs[j][i]
+/// (no prior zero-fill of dst needed). Same contract as
+/// region_mul_add_multi otherwise.
+void region_mul_multi(const std::uint8_t* coeffs,
+                      const std::uint8_t* const* srcs, std::size_t k,
+                      std::span<std::uint8_t> dst);
 
 }  // namespace corec::gf

@@ -5,8 +5,18 @@
 
 #include "common/buffer.hpp"
 #include "erasure/codec.hpp"
+#include "gf/gf256_simd.hpp"
 
 namespace corec::net {
+
+CostModel CostModel::calibrated() {
+  static const double rate = calibrate_encode_rate();
+  CostModel m;
+  m.gf_region_rate = rate;
+  return m;
+}
+
+const char* gf_kernel_in_use() { return gf::kernel_name(); }
 
 double calibrate_encode_rate(std::size_t block_bytes) {
   auto codec_or = erasure::make_reed_solomon(3, 1);

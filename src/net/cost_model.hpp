@@ -25,8 +25,9 @@ struct CostModel {
   SimTime request_overhead = from_micros(0.5);
   /// GF(2^8) region multiply-accumulate throughput of one staging core
   /// (bytes of source processed per second per parity row). Default is a
-  /// conservative table-lookup figure; `calibrate_encode_rate()` measures
-  /// the real rate of this build's RS kernels.
+  /// conservative portable-kernel figure; `CostModel::calibrated()`
+  /// replaces it with the measured rate of this build's dispatched
+  /// SIMD kernels (typically several times higher).
   double gf_region_rate = 1.2e9;
   /// Plain memory-copy throughput (replica materialization, local reads).
   double memcpy_rate = 6.0e9;
@@ -85,11 +86,24 @@ struct CostModel {
 
   /// Titan-like defaults (the values above).
   static CostModel titan_like() { return {}; }
+
+  /// Titan-like defaults with `gf_region_rate` replaced by the encode
+  /// rate measured on this machine with the dispatched GF kernels
+  /// (measured once, then cached for the process). Opt-in — it trades
+  /// run-to-run determinism of simulated times for encode costs that
+  /// track the hardware actually running the experiment.
+  static CostModel calibrated();
 };
 
 /// Measures the real GF region-op throughput of this build (bytes/sec)
-/// by timing the Reed-Solomon encode kernel, so simulated encode costs
-/// can be anchored to the hardware actually running the benchmark.
+/// by timing the Reed-Solomon encode kernel — including the SIMD
+/// dispatch, so the rate reflects the COREC_GF_KERNEL in effect — so
+/// simulated encode costs can be anchored to the hardware actually
+/// running the benchmark.
 double calibrate_encode_rate(std::size_t block_bytes = 1u << 20);
+
+/// The GF kernel the calibration (and all erasure coding in this
+/// process) runs on: "portable", "ssse3" or "avx2".
+const char* gf_kernel_in_use();
 
 }  // namespace corec::net

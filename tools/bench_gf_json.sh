@@ -1,0 +1,33 @@
+#!/usr/bin/env sh
+# Runs the GF/RS microbenchmarks in google-benchmark's JSON format and
+# merges them into one machine-readable file (default BENCH_gf.json) so
+# the erasure hot-path perf trajectory can be tracked PR over PR.
+#
+# Usage: bench_gf_json.sh <micro_gf-binary> <micro_rs-binary> [out.json]
+# Honors COREC_GF_KERNEL to pin a kernel for the RS benches; micro_gf
+# always reports every kernel available on this CPU side by side.
+set -eu
+
+MICRO_GF=${1:?usage: bench_gf_json.sh micro_gf micro_rs [out.json]}
+MICRO_RS=${2:?usage: bench_gf_json.sh micro_gf micro_rs [out.json]}
+OUT=${3:-BENCH_gf.json}
+
+TMPDIR_JSON=$(mktemp -d)
+trap 'rm -rf "$TMPDIR_JSON"' EXIT
+
+"$MICRO_GF" --benchmark_format=json \
+  --benchmark_out="$TMPDIR_JSON/gf.json" --benchmark_out_format=json \
+  >/dev/null
+"$MICRO_RS" --benchmark_format=json \
+  --benchmark_out="$TMPDIR_JSON/rs.json" --benchmark_out_format=json \
+  >/dev/null
+
+{
+  printf '{\n"micro_gf": '
+  cat "$TMPDIR_JSON/gf.json"
+  printf ',\n"micro_rs": '
+  cat "$TMPDIR_JSON/rs.json"
+  printf '}\n'
+} > "$OUT"
+
+echo "wrote $OUT"

@@ -17,6 +17,7 @@
 
 #include "core/corec_scheme.hpp"
 #include "meta/meta_client.hpp"
+#include "net/cost_model.hpp"
 #include "meta/meta_service.hpp"
 #include "workloads/driver.hpp"
 #include "workloads/mechanisms.hpp"
@@ -41,6 +42,7 @@ struct CliOptions {
   std::uint64_t seed = 42;
   bool csv = false;
   bool verify = false;
+  bool calibrate = false;
   // Replicated metadata plane: follower count K (0 = plain local
   // directory), plus optional primary-kill steps.
   std::size_t meta_followers = 0;
@@ -75,6 +77,10 @@ void usage() {
       "                      TS (repeatable; requires --meta)\n"
       "  --seed N            RNG seed\n"
       "  --verify            real payloads + byte verification\n"
+      "  --calibrate         measure this machine's GF kernel encode\n"
+      "                      rate and use it for simulated encode costs\n"
+      "                      (default: Titan-like constant, for\n"
+      "                      run-to-run determinism)\n"
       "  --csv               per-step CSV on stdout\n");
 }
 
@@ -144,6 +150,8 @@ bool parse_args(int argc, char** argv, CliOptions* cli) {
       cli->csv = true;
     } else if (a == "--verify") {
       cli->verify = true;
+    } else if (a == "--calibrate") {
+      cli->calibrate = true;
     } else if (a == "--fail") {
       std::pair<Version, ServerId> p;
       if (!parse_pair(next(), &p)) return false;
@@ -211,6 +219,13 @@ int main(int argc, char** argv) {
   service_opts.topology =
       net::Topology(cli.cabinets, cli.servers / cli.cabinets, 1);
   service_opts.seed = cli.seed;
+  if (cli.calibrate) {
+    service_opts.cost = net::CostModel::calibrated();
+    std::fprintf(stderr,
+                 "calibrated gf_region_rate = %.3g B/s (kernel: %s)\n",
+                 service_opts.cost.gf_region_rate,
+                 net::gf_kernel_in_use());
+  }
 
   MechanismParams params;
   params.k = cli.k;

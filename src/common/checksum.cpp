@@ -1,0 +1,66 @@
+#include "common/checksum.hpp"
+
+#include <array>
+
+namespace corec {
+namespace {
+
+constexpr std::uint32_t kPoly = 0x82f63b78u;  // reflected CRC32C
+
+// Slice-by-8 lookup tables: table[0] is the classic byte-at-a-time
+// table; table[j] folds a byte that sits j positions deeper into the
+// running CRC, letting the hot loop consume 8 bytes per iteration with
+// no data dependency between the table lookups.
+struct Tables {
+  std::uint32_t t[8][256];
+};
+
+Tables make_tables() {
+  Tables tb{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc & 1u) ? (crc >> 1) ^ kPoly : crc >> 1;
+    }
+    tb.t[0][i] = crc;
+  }
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = tb.t[0][i];
+    for (int j = 1; j < 8; ++j) {
+      crc = (crc >> 8) ^ tb.t[0][crc & 0xffu];
+      tb.t[j][i] = crc;
+    }
+  }
+  return tb;
+}
+
+const Tables& tables() {
+  static const Tables tb = make_tables();
+  return tb;
+}
+
+}  // namespace
+
+std::uint32_t crc32c(const std::uint8_t* data, std::size_t len,
+                     std::uint32_t seed) {
+  const Tables& tb = tables();
+  std::uint32_t crc = ~seed;
+  while (len >= 8) {
+    std::uint32_t lo = crc ^ (static_cast<std::uint32_t>(data[0]) |
+                              static_cast<std::uint32_t>(data[1]) << 8 |
+                              static_cast<std::uint32_t>(data[2]) << 16 |
+                              static_cast<std::uint32_t>(data[3]) << 24);
+    crc = tb.t[7][lo & 0xffu] ^ tb.t[6][(lo >> 8) & 0xffu] ^
+          tb.t[5][(lo >> 16) & 0xffu] ^ tb.t[4][lo >> 24] ^
+          tb.t[3][data[4]] ^ tb.t[2][data[5]] ^ tb.t[1][data[6]] ^
+          tb.t[0][data[7]];
+    data += 8;
+    len -= 8;
+  }
+  while (len-- > 0) {
+    crc = (crc >> 8) ^ tb.t[0][(crc ^ *data++) & 0xffu];
+  }
+  return ~crc;
+}
+
+}  // namespace corec

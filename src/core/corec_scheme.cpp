@@ -200,7 +200,12 @@ bool CorecScheme::materialize(const ObjectDescriptor& desc,
     std::vector<ServerId> holders = loc->replicas;
     holders.insert(holders.begin(), loc->primary);
     for (ServerId h : holders) {
-      if (!service_->alive(h)) continue;
+      // Checksum-verified source: a corrupt copy is quarantined and the
+      // next holder tried, so transitions never re-encode bad bytes.
+      if (service_->probe_stored(h, desc, loc->object_checksum) !=
+          staging::ShardHealth::kOk) {
+        continue;
+      }
       const staging::StoredObject* stored =
           service_->server(h).store.find(desc);
       if (stored != nullptr) {
@@ -211,15 +216,20 @@ bool CorecScheme::materialize(const ObjectDescriptor& desc,
     }
     return false;
   }
-  // Concatenate the data chunks (all present in the promotion path; a
-  // degraded promotion is simply skipped).
+  // Concatenate the data chunks (all present and verified in the
+  // promotion path; a degraded promotion is simply skipped).
   bool phantom = false;
   Bytes payload;
   for (std::uint32_t i = 0; i < loc->k; ++i) {
     ServerId s = loc->stripe_servers[i];
-    if (!service_->alive(s)) return false;
-    const staging::StoredObject* stored = service_->server(s).store.find(
-        desc.shard_of(static_cast<ShardIndex>(1 + i)));
+    auto shard_desc = desc.shard_of(static_cast<ShardIndex>(1 + i));
+    if (service_->probe_stored(s, shard_desc,
+                               staging::shard_checksum(*loc, i)) !=
+        staging::ShardHealth::kOk) {
+      return false;
+    }
+    const staging::StoredObject* stored =
+        service_->server(s).store.find(shard_desc);
     if (stored == nullptr) return false;
     if (stored->object.phantom) {
       phantom = true;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "common/failpoint.hpp"
+
 namespace corec::core {
 
 EncodingWorkflow::EncodingWorkflow(staging::StagingService* service,
@@ -50,6 +52,11 @@ ServerId EncodingWorkflow::pick_encoder(
 }
 
 SimTime EncodingWorkflow::acquire(ServerId encoder, SimTime ready) {
+  if (auto fp = COREC_FAILPOINT("workflow.token.stall")) {
+    // Token handoff hiccup: the group token reaches this encoder late
+    // (lost message + retry in a real token-passing implementation).
+    ready += static_cast<SimTime>(fp.arg != 0 ? fp.arg : 500'000);
+  }
   if (!options_.conflict_avoid) return ready;
   std::size_t g = group_of(encoder);
   SimTime start = std::max(ready, token_free_[g]);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/failpoint.hpp"
 #include "resilience/primitives.hpp"
 
 namespace corec::core {
@@ -88,6 +89,11 @@ void RecoveryManager::forget(const ObjectDescriptor& desc) {
 
 void RecoveryManager::repair(const ObjectDescriptor& desc, ServerId target,
                              SimTime now) {
+  if (auto fp = COREC_FAILPOINT("recovery.repair.drop")) {
+    // The repair RPC is lost: the object stays in the pending set and a
+    // later sweep batch (or an on-access hit) retries it.
+    return;
+  }
   resilience::rebuild_on(*service_, desc, target, now, &work_);
   ++repairs_done_;
   for (auto& set : pending_) {

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/checksum.hpp"
+
 namespace corec::erasure {
 
 StatusOr<Stripe> build_stripe(const Codec& codec,
@@ -25,6 +27,7 @@ StatusOr<Stripe> build_stripe(const Codec& codec,
     stripe.payload_sizes[i] = payloads[i].size();
   }
   COREC_RETURN_IF_ERROR(reencode_parity(codec, &stripe));
+  checksum_stripe(&stripe);
   return stripe;
 }
 
@@ -48,6 +51,44 @@ Status repair_stripe(const Codec& codec, Stripe* stripe,
   blocks.reserve(stripe->blocks.size());
   for (auto& b : stripe->blocks) blocks.emplace_back(b);
   return codec.decode(blocks, erased);
+}
+
+void checksum_stripe(Stripe* stripe) {
+  stripe->block_checksums.resize(stripe->blocks.size());
+  for (std::size_t i = 0; i < stripe->blocks.size(); ++i) {
+    stripe->block_checksums[i] = crc32c(stripe->blocks[i]);
+  }
+}
+
+std::vector<std::size_t> verify_stripe(const Stripe& stripe) {
+  std::vector<std::size_t> bad;
+  for (std::size_t i = 0; i < stripe.blocks.size(); ++i) {
+    std::uint32_t expected = i < stripe.block_checksums.size()
+                                 ? stripe.block_checksums[i]
+                                 : 0;
+    if (crc32c(stripe.blocks[i]) != expected) bad.push_back(i);
+  }
+  return bad;
+}
+
+Status repair_stripe_verified(const Codec& codec, Stripe* stripe,
+                              std::vector<std::size_t> erased) {
+  // Corrupt blocks join the erasure set: their bytes are untrustworthy,
+  // so they are zeroed and reconstructed exactly like lost ones.
+  for (std::size_t bad : verify_stripe(*stripe)) {
+    if (std::find(erased.begin(), erased.end(), bad) == erased.end()) {
+      erased.push_back(bad);
+    }
+  }
+  std::sort(erased.begin(), erased.end());
+  for (std::size_t e : erased) {
+    if (e < stripe->blocks.size()) {
+      std::fill(stripe->blocks[e].begin(), stripe->blocks[e].end(), 0);
+    }
+  }
+  COREC_RETURN_IF_ERROR(repair_stripe(codec, stripe, erased));
+  checksum_stripe(stripe);
+  return Status::Ok();
 }
 
 StatusOr<Bytes> extract_payload(const Stripe& stripe, std::size_t i) {

@@ -18,6 +18,7 @@ struct Stripe {
   std::size_t block_size = 0;
   std::vector<Bytes> blocks;                // size n = k + m
   std::vector<std::size_t> payload_sizes;   // size k, pre-padding lengths
+  std::vector<std::uint32_t> block_checksums;  // size n, CRC32C per block
 
   std::size_t n() const { return blocks.size(); }
 };
@@ -38,5 +39,21 @@ Status repair_stripe(const Codec& codec, Stripe* stripe,
 
 /// Extracts payload `i` (unpadded) from a stripe's data block.
 StatusOr<Bytes> extract_payload(const Stripe& stripe, std::size_t i);
+
+/// Recomputes and records every block's CRC32C. build_stripe and the
+/// repair helpers call this; use it directly after mutating payloads
+/// by hand.
+void checksum_stripe(Stripe* stripe);
+
+/// Indices of blocks whose bytes no longer match their recorded
+/// checksum (silent corruption since the last checksum_stripe).
+std::vector<std::size_t> verify_stripe(const Stripe& stripe);
+
+/// Repairs the explicitly `erased` blocks plus any checksum-mismatched
+/// ones — a corrupt block is treated identically to a missing one —
+/// then refreshes the recorded checksums. Fails like Codec::decode when
+/// the combined erasure set exceeds m.
+Status repair_stripe_verified(const Codec& codec, Stripe* stripe,
+                              std::vector<std::size_t> erased);
 
 }  // namespace corec::erasure

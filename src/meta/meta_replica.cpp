@@ -6,7 +6,13 @@
 namespace corec::meta {
 
 void MetaReplica::accept(const OpRecord& op, SimTime received) {
-  log_.push_back(ReplicaEntry{op, received});
+  auto it = std::lower_bound(
+      log_.begin(), log_.end(), op.seq,
+      [](const ReplicaEntry& e, std::uint64_t seq) {
+        return e.op.seq < seq;
+      });
+  if (it != log_.end() && it->op.seq == op.seq) return;  // duplicate
+  log_.insert(it, ReplicaEntry{op, received});
 }
 
 void MetaReplica::install_snapshot(Bytes bytes, std::uint64_t seq,
@@ -82,7 +88,13 @@ void MetaReplica::discard_in_flight(SimTime t) {
       std::remove_if(snapshots_.begin(), snapshots_.end(),
                      [t](const ReplicaSnapshot& s) { return s.received > t; }),
       snapshots_.end());
-  while (!log_.empty() && log_.back().received > t) log_.pop_back();
+  // Receive times are not monotone in sequence order (retransmitted
+  // records land late), so scan the whole log rather than the tail.
+  log_.erase(std::remove_if(log_.begin(), log_.end(),
+                            [t](const ReplicaEntry& e) {
+                              return e.received > t;
+                            }),
+             log_.end());
 }
 
 void MetaReplica::prune(SimTime now) {
@@ -96,6 +108,7 @@ void MetaReplica::prune(SimTime now) {
 void MetaReplica::clear() {
   snapshots_.clear();
   log_.clear();
+  streamed_seq_ = 0;
 }
 
 }  // namespace corec::meta

@@ -44,8 +44,9 @@ class MetaReplica {
   void set_alive(bool alive) { alive_ = alive; }
 
   /// Records receipt of one log entry at virtual time `received`.
-  /// Entries arrive in sequence order (the primary streams them over
-  /// one FIFO service queue).
+  /// Entries are kept ordered by sequence: retransmitted records fill
+  /// gaps left by earlier wire drops, so arrival order is not
+  /// sequence order. A duplicate sequence is ignored.
   void accept(const OpRecord& op, SimTime received);
 
   /// Installs a snapshot received at `received`. Keeps at most the two
@@ -88,9 +89,17 @@ class MetaReplica {
   std::size_t log_size() const { return log_.size(); }
   std::size_t num_snapshots() const { return snapshots_.size(); }
 
+  /// Primary-side bookkeeping: the highest sequence the primary knows
+  /// this follower holds contiguously (i.e. every record <= this was
+  /// delivered or covered by a snapshot). The owning MetaService uses
+  /// it to decide which log tail a lagging follower still needs.
+  std::uint64_t streamed_seq() const { return streamed_seq_; }
+  void set_streamed_seq(std::uint64_t seq) { streamed_seq_ = seq; }
+
  private:
   ServerId host_;
   bool alive_ = true;
+  std::uint64_t streamed_seq_ = 0;
   std::vector<ReplicaSnapshot> snapshots_;  // ordered by seq, <= 2 kept
   std::deque<ReplicaEntry> log_;            // ordered by seq
 };

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <limits>
 
+#include "common/failpoint.hpp"
 #include "resilience/groups.hpp"
 
 namespace corec::meta {
@@ -49,23 +50,26 @@ SimTime MetaService::apply(MetaOpKind kind, const ObjectDescriptor& desc,
 
   const OpRecord& op = log_.append(kind, desc, loc);
   staging::apply_op_record(op, &primary_dir_);
-  const std::size_t op_bytes = MetaLog::record_bytes(op);
   ++stats_.ops_logged;
 
   // Primary applies the op on its own service queue.
   SimTime t_p = service_->serve_at(primary_, now, cost.metadata_op);
+  if (auto fp = COREC_FAILPOINT("meta.append.delay")) {
+    // Stalled primary (GC pause, overloaded NIC): every follower sees
+    // the record late, stretching the quorum ack.
+    t_p += static_cast<SimTime>(fp.arg != 0 ? fp.arg : 100'000);
+  }
 
   // Stream the record to every live follower; collect receive times.
+  // Each follower is first gap-repaired (records an earlier wire drop
+  // left missing), so acknowledged mutations are durable on a quorum
+  // in fact, not just by assumption.
   std::vector<SimTime> recvs;
   recvs.reserve(followers_.size());
   for (MetaReplica& r : followers_) {
     if (!r.alive()) continue;
-    SimTime recv = service_->serve_at(
-        r.host(), t_p + cost.transfer_time(op_bytes), cost.metadata_op);
-    r.accept(op, recv);
-    r.prune(now);
-    recvs.push_back(recv);
-    stats_.log_bytes_streamed += op_bytes;
+    SimTime recv = 0;
+    if (stream_to(r, t_p, now, &recv)) recvs.push_back(recv);
   }
 
   // Acked once the primary and `ack_followers` followers hold the op.
@@ -104,6 +108,7 @@ void MetaService::take_snapshot() {
         r.host(), t_ser + cost.transfer_time(bytes.size()),
         cost.copy_time(bytes.size()));
     r.install_snapshot(bytes, seq, recv, /*truncate_log=*/false);
+    if (r.streamed_seq() < seq) r.set_streamed_seq(seq);
     r.prune(now);
     stats_.snapshot_bytes_shipped += bytes.size();
   }
@@ -243,11 +248,12 @@ void MetaService::failover(SimTime t) {
         r.host(), t_ser + cost.transfer_time(bytes.size()),
         cost.copy_time(bytes.size()));
     r.install_snapshot(bytes, winner_durable, recv, /*truncate_log=*/true);
+    r.set_streamed_seq(winner_durable);
     stats_.snapshot_bytes_shipped += bytes.size();
   }
 }
 
-void MetaService::catch_up(MetaReplica& replica, SimTime now) {
+SimTime MetaService::catch_up(MetaReplica& replica, SimTime now) {
   const auto& cost = service_->cost();
   const std::uint64_t seq = log_.last_seq();
 
@@ -263,9 +269,56 @@ void MetaService::catch_up(MetaReplica& replica, SimTime now) {
       cost.copy_time(snap_size));
   replica.install_snapshot(std::move(bytes), seq, recv,
                            /*truncate_log=*/true);
+  replica.set_streamed_seq(seq);
   stats_.snapshot_bytes_shipped += snap_size;
   ++stats_.catchups;
   stats_.catchup_time.add(static_cast<double>(recv - now));
+  return recv;
+}
+
+bool MetaService::stream_to(MetaReplica& r, SimTime from, SimTime now,
+                            SimTime* recv_out) {
+  const auto& cost = service_->cost();
+  if (r.streamed_seq() < log_.base_seq()) {
+    // Compaction has passed this follower's gap: the missing records
+    // no longer exist, only a snapshot can repair it.
+    *recv_out = catch_up(r, now);
+    return true;
+  }
+
+  // Stream every retained record the follower is missing, oldest
+  // first. Each send is one wire message: a drop (failpoint) costs a
+  // retransmission timeout and a retry; a record that exhausts its
+  // retries leaves the follower lagging at that gap — repaired on the
+  // next append or the next snapshot, so it never silently diverges.
+  SimTime send = from;
+  for (const OpRecord& rec : log_) {
+    if (rec.seq <= r.streamed_seq()) continue;
+    const std::size_t rec_bytes = MetaLog::record_bytes(rec);
+    bool delivered = false;
+    for (std::size_t attempt = 0; attempt <= options_.stream_retries;
+         ++attempt) {
+      if (attempt > 0) ++stats_.records_retransmitted;
+      stats_.log_bytes_streamed += rec_bytes;
+      if (auto fp = COREC_FAILPOINT("meta.append.drop_ack")) {
+        // The record (and its ack) is lost on the wire; the primary
+        // notices the missing ack after a timeout and re-sends.
+        send += options_.retransmit_timeout;
+        continue;
+      }
+      SimTime recv = service_->serve_at(
+          r.host(), send + cost.transfer_time(rec_bytes),
+          cost.metadata_op);
+      r.accept(rec, recv);
+      r.set_streamed_seq(rec.seq);
+      *recv_out = recv;
+      delivered = true;
+      break;
+    }
+    if (!delivered) return false;
+  }
+  r.prune(now);
+  return r.streamed_seq() == log_.last_seq();
 }
 
 }  // namespace corec::meta

@@ -6,7 +6,13 @@
 // service queues and interconnect model):
 //   * The primary applies every mutation locally, appends it to the
 //     op-log with a dense sequence number, and streams the encoded
-//     record to each live follower.
+//     record to each live follower. A record lost on the wire is
+//     retransmitted (bounded attempts per append); a follower the
+//     primary could not bring current is gap-repaired from the
+//     retained log on the next append, or reseeded with a snapshot
+//     when compaction has passed its gap. Followers therefore only
+//     ever lag — they never hold a directory that silently diverges
+//     from the acknowledged prefix.
 //   * A mutation is acknowledged once the primary and `ack_followers`
 //     followers have it (a majority with the default K=2, F=1).
 //   * Every `snapshot_every` operations the primary snapshots the
@@ -46,6 +52,12 @@ struct MetaOptions {
   std::uint64_t snapshot_every = 128;
   /// Detection + election delay charged before a new primary serves.
   SimTime election_timeout = from_micros(250.0);
+  /// A log record lost on the wire is re-sent after this timeout.
+  SimTime retransmit_timeout = from_micros(200.0);
+  /// Retransmission attempts per record per append before the primary
+  /// gives up for now (the gap is repaired on the next append or
+  /// snapshot, so a follower only stays behind, never diverges).
+  std::size_t stream_retries = 8;
 };
 
 /// Counters and latency accumulators exposed through common/stats.
@@ -59,6 +71,8 @@ struct MetaStats {
   std::uint64_t snapshot_bytes_shipped = 0;
   std::uint64_t failovers = 0;
   std::uint64_t catchups = 0;
+  /// Log records re-sent after a wire drop (retransmission model).
+  std::uint64_t records_retransmitted = 0;
   /// Unacknowledged tail operations discarded by elections. Acked ones
   /// never count here while a quorum member survives.
   std::uint64_t ops_lost_unacked = 0;
@@ -115,7 +129,15 @@ class MetaService {
   /// Elects and installs a new primary after the old one died at `t`.
   void failover(SimTime t);
   /// Reseeds `replica` (empty or stale) from the primary's state.
-  void catch_up(MetaReplica& replica, SimTime now);
+  /// Returns the virtual time the snapshot landed on the replica.
+  SimTime catch_up(MetaReplica& replica, SimTime now);
+  /// Brings `replica` up through log().last_seq(): repairs any gap
+  /// left by earlier wire drops (log-tail retransmission; snapshot
+  /// reseed when the gap predates the retained log), then streams the
+  /// newest record. Returns true when the replica holds the full
+  /// prefix, with the receive time of the final bytes in *recv_out.
+  bool stream_to(MetaReplica& replica, SimTime from, SimTime now,
+                 SimTime* recv_out);
 
   staging::StagingService* service_;
   MetaOptions options_;

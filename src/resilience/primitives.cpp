@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "common/failpoint.hpp"
 #include "resilience/groups.hpp"
 
 namespace corec::resilience {
@@ -12,6 +13,7 @@ using staging::DataObject;
 using staging::ObjectDescriptor;
 using staging::ObjectLocation;
 using staging::Protection;
+using staging::ShardHealth;
 using staging::ShardIndex;
 using staging::StagingService;
 using staging::StoredKind;
@@ -58,12 +60,18 @@ SimTime place_replicated(StagingService& service, const DataObject& obj,
     bd->transport += cost.link_latency;
     SimTime service_time = cost.copy_time(obj.logical_size);
     bd->copy += service_time;
-    DataObject replica = obj;
-    Status rst =
-        service.store_at(replicas[i], std::move(replica),
-                         StoredKind::kReplica);
-    assert(rst.ok());
-    (void)rst;
+    if (auto fp = COREC_FAILPOINT("staging.replica.drop_write")) {
+      // The replica write is acknowledged but silently dropped: time is
+      // charged, bytes never land. Reads fail over; the scrubber finds
+      // and repairs the hole.
+    } else {
+      DataObject replica = obj;
+      Status rst =
+          service.store_at(replicas[i], std::move(replica),
+                           StoredKind::kReplica);
+      assert(rst.ok());
+      (void)rst;
+    }
     durable = std::max(durable,
                        service.serve_at(replicas[i], arrival, service_time));
   }
@@ -75,6 +83,7 @@ SimTime place_replicated(StagingService& service, const DataObject& obj,
       replicas.empty() ? Protection::kNone : Protection::kReplicated;
   loc.replicas = std::move(replicas);
   loc.logical_size = obj.logical_size;
+  loc.object_checksum = obj.phantom ? 0 : obj.checksum;
   // The write is durable only once both the data copies and the
   // metadata registration (which itself replicates under src/meta/)
   // have landed.
@@ -140,6 +149,7 @@ SimTime place_encoded(StagingService& service, const DataObject& obj,
   // Distribute the shards. The encoder keeps its own shard locally;
   // the others are serialized out over its link, pipelined.
   SimTime durable = t_enc;
+  std::vector<std::uint32_t> shard_crcs(n, 0);
   std::size_t sent = 0;
   for (std::size_t i = 0; i < n; ++i) {
     ServerId target = stripe[i];
@@ -151,12 +161,36 @@ SimTime place_encoded(StagingService& service, const DataObject& obj,
     } else {
       Bytes bytes = i < k ? chunk_bytes[i] : parity_bytes[i - k];
       shard = DataObject::real(shard_desc, std::move(bytes));
+      // Record the CRC of what *should* land; the torn-write and
+      // bit-flip failpoints below corrupt the stored copy after this,
+      // which is exactly the mismatch read-side verification catches.
+      shard_crcs[i] = shard.checksum;
     }
-    Status sst = service.store_at(target, std::move(shard),
-                                  i < k ? StoredKind::kDataChunk
-                                        : StoredKind::kParity);
-    assert(sst.ok());
-    (void)sst;
+    if (auto fp = COREC_FAILPOINT("staging.shard.crash_target");
+        fp && service.num_alive() > 1) {
+      service.kill_server(target);
+    }
+    if (service.alive(target)) {
+      if (!obj.phantom) {
+        if (auto fp = COREC_FAILPOINT("staging.shard.torn_write")) {
+          std::size_t keep =
+              fp.arg != 0 ? std::min<std::size_t>(fp.arg, shard.data.size())
+                          : shard.data.size() / 2;
+          shard.data.resize(keep);
+        }
+      }
+      Status sst = service.store_at(target, std::move(shard),
+                                    i < k ? StoredKind::kDataChunk
+                                          : StoredKind::kParity);
+      assert(sst.ok());
+      (void)sst;
+      if (!obj.phantom) {
+        if (auto fp = COREC_FAILPOINT("staging.shard.bitflip")) {
+          service.corrupt_at(target, shard_desc,
+                             static_cast<std::size_t>(fp.rng));
+        }
+      }
+    }
 
     SimTime arrival = t_enc;
     if (target != encoder) {
@@ -182,6 +216,8 @@ SimTime place_encoded(StagingService& service, const DataObject& obj,
   loc.m = static_cast<std::uint32_t>(m);
   loc.chunk_size = chunk_size;
   loc.logical_size = obj.logical_size;
+  loc.object_checksum = obj.phantom ? 0 : obj.checksum;
+  loc.shard_checksums = std::move(shard_crcs);
   SimTime meta_ack = service.directory().upsert(obj.desc, loc);
   bd->metadata += cost.metadata_op;
   return std::max(durable + cost.metadata_op, meta_ack);
@@ -243,13 +279,25 @@ SimTime rebuild_on(StagingService& service, const ObjectDescriptor& desc,
     if (!is_holder || service.server(target).store.contains(desc)) {
       return start;
     }
-    // Find a surviving copy.
-    ServerId source = kInvalidServer;
+    // Find a surviving copy whose bytes still verify; a corrupt source
+    // is quarantined and the next holder tried (recovery must never
+    // propagate bad bytes into a fresh copy).
     std::vector<ServerId> holders = loc->replicas;
     holders.push_back(loc->primary);
+    if (auto fp = COREC_FAILPOINT("recovery.source.bitflip")) {
+      for (ServerId h : holders) {
+        if (h != target && service.alive(h) &&
+            service.corrupt_at(h, desc,
+                               static_cast<std::size_t>(fp.rng))) {
+          break;
+        }
+      }
+    }
+    ServerId source = kInvalidServer;
     for (ServerId h : holders) {
-      if (h != target && service.alive(h) &&
-          service.server(h).store.contains(desc)) {
+      if (h == target || !service.alive(h)) continue;
+      if (service.probe_stored(h, desc, loc->object_checksum) ==
+          ShardHealth::kOk) {
         source = h;
         break;
       }
@@ -282,13 +330,30 @@ SimTime rebuild_on(StagingService& service, const ObjectDescriptor& desc,
   // Encoded object: reconstruct the shards that should live on target.
   const std::uint32_t k = loc->k;
   const std::uint32_t n = loc->k + loc->m;
+  if (auto fp = COREC_FAILPOINT("recovery.shard.bitflip")) {
+    // Model corruption discovered mid-recovery: flip a bit in the first
+    // real surviving shard before the source scan verifies it.
+    for (std::uint32_t i = 0; i < n; ++i) {
+      ServerId s = loc->stripe_servers[i];
+      if (s == target || !service.alive(s)) continue;
+      if (service.corrupt_at(s,
+                             desc.shard_of(static_cast<ShardIndex>(1 + i)),
+                             static_cast<std::size_t>(fp.rng))) {
+        break;
+      }
+    }
+  }
   std::vector<std::uint32_t> missing_here;
   std::vector<std::size_t> erased;
   std::vector<std::uint32_t> survivors;
   for (std::uint32_t i = 0; i < n; ++i) {
     ServerId s = loc->stripe_servers[i];
     auto shard_desc = desc.shard_of(static_cast<ShardIndex>(1 + i));
-    if (service.alive(s) && service.server(s).store.contains(shard_desc)) {
+    // Verified survivors only: a shard failing its checksum becomes one
+    // more erasure for the decode below to reconstruct around.
+    if (service.probe_stored(s, shard_desc,
+                             staging::shard_checksum(*loc, i)) ==
+        ShardHealth::kOk) {
       survivors.push_back(i);
     } else {
       erased.push_back(i);

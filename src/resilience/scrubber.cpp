@@ -1,0 +1,136 @@
+#include "resilience/scrubber.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "resilience/primitives.hpp"
+
+namespace corec::resilience {
+
+using staging::ObjectDescriptor;
+using staging::ObjectLocation;
+using staging::Protection;
+using staging::ShardHealth;
+using staging::ShardIndex;
+
+Scrubber::Scrubber(staging::StagingService* service, ScrubOptions options)
+    : service_(service), options_(options) {}
+
+void Scrubber::start() { begin_pass(); }
+
+void Scrubber::begin_pass() {
+  std::vector<ObjectDescriptor> descs;
+  service_->directory().for_each(
+      [&descs](const ObjectDescriptor& desc, const ObjectLocation&) {
+        descs.push_back(desc);
+      });
+
+  const SimTime deadline = from_seconds(options_.mtbf_seconds / 4.0);
+  const std::size_t nb = std::max<std::size_t>(1, options_.batches);
+  // Never schedule at zero offset: a continuous scrubber with a tiny
+  // MTBF must still make virtual-time progress between passes.
+  const SimTime step =
+      std::max<SimTime>(deadline / static_cast<SimTime>(nb), 1);
+  for (std::size_t b = 0; b < nb; ++b) {
+    std::vector<ObjectDescriptor> slice(
+        descs.begin() + static_cast<std::ptrdiff_t>(b * descs.size() / nb),
+        descs.begin() +
+            static_cast<std::ptrdiff_t>((b + 1) * descs.size() / nb));
+    const bool last = b + 1 == nb;
+    service_->sim().after(
+        step * static_cast<SimTime>(b + 1),
+        [this, slice = std::move(slice), b, last]() mutable {
+          run_batch(std::move(slice), b);
+          if (last) {
+            ++stats_.passes_completed;
+            if (options_.continuous) begin_pass();
+          }
+        });
+  }
+}
+
+void Scrubber::run_batch(std::vector<ObjectDescriptor> descs,
+                         std::size_t batch) {
+  (void)batch;
+  for (const ObjectDescriptor& desc : descs) {
+    scrub_object(desc, service_->sim().now());
+  }
+}
+
+void Scrubber::run_pass(SimTime now) {
+  std::vector<ObjectDescriptor> descs;
+  service_->directory().for_each(
+      [&descs](const ObjectDescriptor& desc, const ObjectLocation&) {
+        descs.push_back(desc);
+      });
+  for (const ObjectDescriptor& desc : descs) scrub_object(desc, now);
+  ++stats_.passes_completed;
+}
+
+void Scrubber::scrub_object(const ObjectDescriptor& desc, SimTime now) {
+  const ObjectLocation* loc = service_->directory().find(desc);
+  if (loc == nullptr) return;  // retired since the pass snapshot
+  ++stats_.objects_scanned;
+
+  if (loc->protection == Protection::kEncoded) {
+    const std::uint32_t n = loc->k + loc->m;
+    // Copy what verify_holder needs: repairs can upsert the directory
+    // and invalidate `loc` mid-walk.
+    const ObjectLocation snapshot = *loc;
+    for (std::uint32_t i = 0; i < n; ++i) {
+      verify_holder(desc.shard_of(static_cast<ShardIndex>(1 + i)),
+                    snapshot, snapshot.stripe_servers[i],
+                    staging::shard_checksum(snapshot, i), now);
+    }
+  } else {
+    const ObjectLocation snapshot = *loc;
+    std::vector<ServerId> holders;
+    holders.push_back(snapshot.primary);
+    holders.insert(holders.end(), snapshot.replicas.begin(),
+                   snapshot.replicas.end());
+    for (ServerId s : holders) {
+      verify_holder(desc, snapshot, s, snapshot.object_checksum, now);
+    }
+  }
+}
+
+void Scrubber::verify_holder(const ObjectDescriptor& desc,
+                             const ObjectLocation& loc, ServerId s,
+                             std::uint32_t expected, SimTime now) {
+  if (s == kInvalidServer || !service_->alive(s)) return;
+  const staging::StoredObject* stored = service_->server(s).store.find(desc);
+  const auto& cost = service_->cost();
+
+  auto repair = [&] {
+    if (!options_.repair) return;
+    // rebuild_on is keyed by the whole object and rebuilds whatever is
+    // missing on the target — the quarantined/missing entry we just
+    // found. Its gather/decode/copy costs land in the scrub Breakdown.
+    resilience::rebuild_on(*service_, desc.base(), s, now, &stats_.work);
+    ++stats_.repairs_triggered;
+  };
+
+  if (stored == nullptr) {
+    // A hole with live metadata: a dropped write or an earlier
+    // quarantine whose repair never ran.
+    (void)loc;
+    ++stats_.missing_found;
+    repair();
+    return;
+  }
+  if (!stored->object.phantom && expected != 0) {
+    ++stats_.shards_verified;
+    stats_.bytes_verified += stored->object.data.size();
+    // The holder spends CPU checksumming its resident bytes; charge it
+    // like a local copy pass on that server's queue.
+    SimTime verify_cost = cost.copy_time(stored->object.data.size());
+    stats_.work.copy += verify_cost;
+    service_->serve_at(s, now, verify_cost);
+  }
+  if (service_->probe_stored(s, desc, expected) == ShardHealth::kCorrupt) {
+    ++stats_.corruptions_found;
+    repair();
+  }
+}
+
+}  // namespace corec::resilience

@@ -43,7 +43,18 @@ struct ObjectLocation {
   std::uint32_t m = 0;
   std::size_t chunk_size = 0;            // bytes per chunk (padded)
   std::size_t logical_size = 0;          // true payload bytes
+  // End-to-end integrity tags, stamped at placement time. 0 means "no
+  // checksum recorded" (phantom payloads): verification is skipped.
+  std::uint32_t object_checksum = 0;     // CRC32C of the whole payload
+  std::vector<std::uint32_t> shard_checksums;  // kEncoded: n per-shard CRCs
 };
+
+/// Recorded checksum of stripe shard `i` (0-based over the n = k + m
+/// shards); 0 ("none recorded") when out of range.
+inline std::uint32_t shard_checksum(const ObjectLocation& loc,
+                                    std::size_t i) {
+  return i < loc.shard_checksums.size() ? loc.shard_checksums[i] : 0;
+}
 
 /// Metadata directory: descriptor -> location plus a per-(var, version)
 /// geometric index for intersection queries.

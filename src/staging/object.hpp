@@ -9,6 +9,7 @@
 #include <string>
 
 #include "common/buffer.hpp"
+#include "common/checksum.hpp"
 #include "common/types.hpp"
 #include "geom/bbox.hpp"
 
@@ -57,13 +58,16 @@ struct DataObject {
   ObjectDescriptor desc;
   Bytes data;                     // empty when phantom
   std::size_t logical_size = 0;   // always the true payload size
+  std::uint32_t checksum = 0;     // CRC32C of `data` at creation; 0 if phantom
   bool phantom = false;
 
-  /// Real-payload constructor.
+  /// Real-payload constructor; stamps the payload's CRC32C so every
+  /// downstream copy carries its integrity tag.
   static DataObject real(ObjectDescriptor d, Bytes bytes) {
     DataObject o;
     o.desc = d;
     o.logical_size = bytes.size();
+    o.checksum = crc32c(bytes.data(), bytes.size());
     o.data = std::move(bytes);
     return o;
   }

@@ -39,6 +39,16 @@ bool ObjectStore::erase(const ObjectDescriptor& desc) {
   return true;
 }
 
+bool ObjectStore::flip_byte(const ObjectDescriptor& desc,
+                            std::size_t offset) {
+  auto it = entries_.find(desc);
+  if (it == entries_.end()) return false;
+  DataObject& object = it->second.object;
+  if (object.phantom || object.data.empty()) return false;
+  object.data[offset % object.data.size()] ^= 0x40;
+  return true;
+}
+
 void ObjectStore::clear() {
   entries_.clear();
   total_bytes_ = 0;

@@ -54,6 +54,12 @@ class ObjectStore {
   /// Removes an entry; returns true if it was present.
   bool erase(const ObjectDescriptor& desc);
 
+  /// Fault injection: XORs one bit into the stored bytes of `desc` at
+  /// `offset % size`, simulating silent in-memory corruption. Byte
+  /// accounting is untouched. Returns false for absent/phantom/empty
+  /// entries (nothing to corrupt).
+  bool flip_byte(const ObjectDescriptor& desc, std::size_t offset);
+
   /// Drops everything (server failure). Byte accounting resets.
   void clear();
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "common/checksum.hpp"
+#include "common/failpoint.hpp"
 #include "staging/hyperslab.hpp"
 
 namespace corec::staging {
@@ -71,6 +73,33 @@ std::size_t StagingService::num_alive() const {
   return n;
 }
 
+ShardHealth StagingService::probe_stored(ServerId s,
+                                         const ObjectDescriptor& desc,
+                                         std::uint32_t expected) {
+  if (s == kInvalidServer || s >= servers_.size() || !servers_[s].alive) {
+    return ShardHealth::kMissing;
+  }
+  const StoredObject* stored = servers_[s].store.find(desc);
+  if (stored == nullptr) return ShardHealth::kMissing;
+  if (stored->object.phantom) return ShardHealth::kOk;
+  if (expected == 0) return ShardHealth::kOk;  // no checksum recorded
+  ++integrity_.checks;
+  if (crc32c(stored->object.data.data(), stored->object.data.size()) ==
+      expected) {
+    return ShardHealth::kOk;
+  }
+  ++integrity_.mismatches;
+  ++integrity_.quarantined;
+  remove_at(s, desc);
+  return ShardHealth::kCorrupt;
+}
+
+bool StagingService::corrupt_at(ServerId s, const ObjectDescriptor& desc,
+                                std::size_t offset) {
+  if (s >= servers_.size() || !servers_[s].alive) return false;
+  return servers_[s].store.flip_byte(desc, offset);
+}
+
 const erasure::Codec& StagingService::codec(std::uint32_t k,
                                             std::uint32_t m) {
   std::uint64_t key = (static_cast<std::uint64_t>(k) << 32) | m;
@@ -103,6 +132,11 @@ OpResult StagingService::put_impl(VarId var, Version version,
 
   if (!phantom && data.size() != box.volume() * elem) {
     result.status = Status::InvalidArgument("payload/box size mismatch");
+    result.completed = t0;
+    return result;
+  }
+  if (auto fp = COREC_FAILPOINT("staging.put.error")) {
+    result.status = Status::Unavailable("failpoint: staging.put.error");
     result.completed = t0;
     return result;
   }
@@ -184,6 +218,11 @@ OpResult StagingService::get(VarId var, Version version,
 
   if (!meta_->available()) {
     result.status = Status::Unavailable("metadata plane unavailable");
+    result.completed = t0;
+    return result;
+  }
+  if (auto fp = COREC_FAILPOINT("staging.get.error")) {
+    result.status = Status::Unavailable("failpoint: staging.get.error");
     result.completed = t0;
     return result;
   }
@@ -269,26 +308,37 @@ StatusOr<SimTime> StagingService::read_piece(const ObjectDescriptor& desc,
 
   if (loc->protection != Protection::kEncoded) {
     // Whole copies: primary plus replicas; pick the least-loaded live
-    // holder (replication's concurrent-read bandwidth advantage).
+    // holder (replication's concurrent-read bandwidth advantage). A
+    // copy failing its checksum is quarantined and the next holder
+    // tried — corruption costs one replica, never corrupt bytes
+    // returned to the reader.
     std::vector<ServerId> holders;
     holders.push_back(loc->primary);
     holders.insert(holders.end(), loc->replicas.begin(),
                    loc->replicas.end());
+    const StoredObject* stored = nullptr;
     ServerId best = kInvalidServer;
-    SimTime best_backlog = 0;
-    for (ServerId h : holders) {
-      if (h == kInvalidServer || !servers_[h].alive) continue;
-      if (!servers_[h].store.contains(desc)) continue;
-      SimTime backlog = servers_[h].queue.backlog(start);
-      if (best == kInvalidServer || backlog < best_backlog) {
-        best = h;
-        best_backlog = backlog;
+    while (stored == nullptr) {
+      best = kInvalidServer;
+      SimTime best_backlog = 0;
+      for (ServerId h : holders) {
+        if (h == kInvalidServer || !servers_[h].alive) continue;
+        if (!servers_[h].store.contains(desc)) continue;
+        SimTime backlog = servers_[h].queue.backlog(start);
+        if (best == kInvalidServer || backlog < best_backlog) {
+          best = h;
+          best_backlog = backlog;
+        }
+      }
+      if (best == kInvalidServer) {
+        return Status::DataLoss("all copies lost or corrupt: " +
+                                desc.to_string());
+      }
+      if (probe_stored(best, desc, loc->object_checksum) ==
+          ShardHealth::kOk) {
+        stored = servers_[best].store.find(desc);
       }
     }
-    if (best == kInvalidServer) {
-      return Status::DataLoss("all copies lost: " + desc.to_string());
-    }
-    const StoredObject* stored = servers_[best].store.find(desc);
     SimTime service = options_.cost.request_overhead +
                       options_.cost.copy_time(scaled(loc->logical_size));
     bd->copy += service;
@@ -306,14 +356,16 @@ StatusOr<SimTime> StagingService::read_piece(const ObjectDescriptor& desc,
     return t1 + xfer;
   }
 
-  // Encoded object: fetch the k data chunks in parallel.
+  // Encoded object: fetch the k data chunks in parallel. Each chunk is
+  // verified against its recorded checksum; a corrupt chunk is
+  // quarantined and the read falls into the degraded path, which
+  // decodes around it.
   const std::uint32_t k = loc->k;
   bool all_data_present = true;
   for (std::uint32_t i = 0; i < k; ++i) {
     ServerId s = loc->stripe_servers[i];
-    if (!servers_[s].alive ||
-        !servers_[s].store.contains(desc.shard_of(
-            static_cast<ShardIndex>(1 + i)))) {
+    if (probe_stored(s, desc.shard_of(static_cast<ShardIndex>(1 + i)),
+                     shard_checksum(*loc, i)) != ShardHealth::kOk) {
       all_data_present = false;
       break;
     }
@@ -370,13 +422,16 @@ StatusOr<SimTime> StagingService::read_degraded(
                                     fraction);
   };
 
-  // Which stripe shards survive?
+  // Which stripe shards survive? A shard failing its checksum is
+  // quarantined and counted as one more erasure to decode around —
+  // corruption and loss are the same event from here on.
   std::vector<std::uint32_t> survivors;
   std::vector<std::size_t> erased;  // codec block indices
   for (std::uint32_t i = 0; i < n; ++i) {
     ServerId s = loc.stripe_servers[i];
     auto shard_desc = desc.shard_of(static_cast<ShardIndex>(1 + i));
-    if (servers_[s].alive && servers_[s].store.contains(shard_desc)) {
+    if (probe_stored(s, shard_desc, shard_checksum(loc, i)) ==
+        ShardHealth::kOk) {
       survivors.push_back(i);
     } else {
       erased.push_back(i);
@@ -462,6 +517,18 @@ StatusOr<SimTime> StagingService::read_degraded(
                          blocks[i].end());
       }
       assembled.resize(loc.logical_size);
+      // End-to-end check of the decode output: per-shard checksums
+      // guard the inputs, this guards the reconstruction itself (and
+      // any metadata/geometry inconsistency between them).
+      if (loc.object_checksum != 0) {
+        ++integrity_.checks;
+        if (crc32c(assembled.data(), assembled.size()) !=
+            loc.object_checksum) {
+          ++integrity_.mismatches;
+          return Status::DataLoss("decoded payload failed checksum: " +
+                                  desc.to_string());
+        }
+      }
       *piece_out = std::move(assembled);
     }
   }

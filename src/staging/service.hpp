@@ -44,6 +44,20 @@ struct ServiceOptions {
   std::uint64_t seed = 42;
 };
 
+/// Counters for the end-to-end integrity machinery: every read, decode
+/// input and recovery copy is checksum-verified; corrupt entries are
+/// quarantined (dropped from their store) so the erasure/replica repair
+/// paths treat them exactly like lost shards.
+struct IntegrityStats {
+  std::uint64_t checks = 0;       // payload verifications performed
+  std::uint64_t mismatches = 0;   // verifications that failed
+  std::uint64_t quarantined = 0;  // corrupt entries dropped pending repair
+};
+
+/// Result of probing one stored representation against its recorded
+/// checksum.
+enum class ShardHealth : std::uint8_t { kMissing, kOk, kCorrupt };
+
 /// One staging server: its store, its service queue and liveness.
 struct ServerState {
   explicit ServerState(std::size_t capacity) : store(capacity) {}
@@ -149,6 +163,22 @@ class StagingService {
     stored_total_ -= before - servers_[s].store.total_bytes();
   }
 
+  /// Verifies the entry `desc` on server `s` against `expected` (its
+  /// CRC32C recorded in the directory; 0 = nothing recorded, accept).
+  /// A mismatching entry is quarantined — erased from the store so
+  /// every downstream path sees it as one more erasure to repair
+  /// around. Phantom entries always verify clean.
+  ShardHealth probe_stored(ServerId s, const ObjectDescriptor& desc,
+                           std::uint32_t expected);
+
+  /// Fault injection: flips one bit of the stored bytes of `desc` on
+  /// `s` (see ObjectStore::flip_byte). Returns false if there is no
+  /// real payload there to corrupt.
+  bool corrupt_at(ServerId s, const ObjectDescriptor& desc,
+                  std::size_t offset);
+
+  const IntegrityStats& integrity() const { return integrity_; }
+
   /// Cached Reed-Solomon codec for stripe geometry (k, m).
   const erasure::Codec& codec(std::uint32_t k, std::uint32_t m);
 
@@ -194,6 +224,7 @@ class StagingService {
   std::vector<ServerId> ring_;
   std::vector<std::size_t> ring_pos_;
   Rng rng_;
+  IntegrityStats integrity_;
   std::size_t stored_total_ = 0;  // incremental sum of store bytes
   std::uint64_t sfc_key_span_;    // max SFC key + 1, for range routing
   std::unordered_map<std::uint64_t, std::unique_ptr<erasure::Codec>>

@@ -67,6 +67,10 @@ void encode_location(const ObjectLocation& loc, BufferWriter* w) {
   w->put<std::uint32_t>(loc.m);
   w->put<std::uint64_t>(loc.chunk_size);
   w->put<std::uint64_t>(loc.logical_size);
+  w->put<std::uint32_t>(loc.object_checksum);
+  w->put<std::uint32_t>(
+      static_cast<std::uint32_t>(loc.shard_checksums.size()));
+  for (std::uint32_t c : loc.shard_checksums) w->put<std::uint32_t>(c);
 }
 
 StatusOr<ObjectLocation> decode_location(BufferReader* r) {
@@ -100,6 +104,13 @@ StatusOr<ObjectLocation> decode_location(BufferReader* r) {
   COREC_RETURN_IF_ERROR(r->get(&logical));
   loc.chunk_size = chunk;
   loc.logical_size = logical;
+  COREC_RETURN_IF_ERROR(r->get(&loc.object_checksum));
+  COREC_RETURN_IF_ERROR(r->get(&n));
+  if (n > 1u << 20 || n > r->remaining() / sizeof(std::uint32_t)) {
+    return Status::InvalidArgument("shard checksum count exceeds buffer");
+  }
+  loc.shard_checksums.resize(n);
+  for (auto& c : loc.shard_checksums) COREC_RETURN_IF_ERROR(r->get(&c));
   return loc;
 }
 

@@ -76,11 +76,15 @@ RunMetrics WorkloadDriver::run(const WorkloadPlan& plan) {
   assert(elem == service_->options().fit.element_size &&
          "service must be configured with the plan's element size");
 
-  Bytes mirror;
-  if (options_.verify_reads) {
-    mirror.assign(
-        static_cast<std::size_t>(plan.domain.volume()) * elem, 0);
-  }
+  mirrors_.clear();
+  const std::size_t domain_bytes =
+      static_cast<std::size_t>(plan.domain.volume()) * elem;
+  auto mirror_of = [&](VarId var) -> Bytes* {
+    if (!options_.verify_reads) return nullptr;
+    Bytes& m = mirrors_[var];
+    if (m.size() != domain_bytes) m.assign(domain_bytes, 0);
+    return &m;
+  };
 
   auto& sim = service_->sim();
   SimTime start = sim.now();
@@ -101,7 +105,7 @@ RunMetrics WorkloadDriver::run(const WorkloadPlan& plan) {
       staging::OpResult res;
       if (options_.real_payloads) {
         fill_payload(w.var, w.box, step, plan.domain, &payload,
-                     options_.verify_reads ? &mirror : nullptr, elem);
+                     mirror_of(w.var), elem);
         res = service_->put(w.var, step, w.box, payload);
       } else {
         res = service_->put_phantom(w.var, step, w.box);
@@ -134,8 +138,11 @@ RunMetrics WorkloadDriver::run(const WorkloadPlan& plan) {
         sm.read_bd += res.breakdown;
         if (options_.verify_reads) {
           ++sm.verified_reads;
-          auto expected = staging::extract_region(mirror, plan.domain,
-                                                  r.box, elem);
+          // A piece was found, so the var has been written and its
+          // mirror exists.
+          auto expected = staging::extract_region(*mirror_of(r.var),
+                                                  plan.domain, r.box,
+                                                  elem);
           assert(expected.ok());
           if (!(expected.value() == out)) ++sm.corrupt_reads;
         }

@@ -77,6 +77,14 @@ class WorkloadDriver {
   /// Runs the plan to completion; returns the collected metrics.
   RunMetrics run(const WorkloadPlan& plan);
 
+  /// Domain-shaped mirror of `var`'s latest written contents (kept when
+  /// verify_reads is on; survives run() so audits can compare staged or
+  /// decoded bytes after the fact). nullptr when never written.
+  const Bytes* mirror(VarId var) const {
+    auto it = mirrors_.find(var);
+    return it == mirrors_.end() ? nullptr : &it->second;
+  }
+
  private:
   void fill_payload(VarId var, const geom::BoundingBox& box, Version step,
                     const geom::BoundingBox& domain, Bytes* payload,
@@ -85,6 +93,9 @@ class WorkloadDriver {
   staging::StagingService* service_;
   DriverOptions options_;
   std::multimap<Version, std::function<void()>> hooks_;
+  // Per-variable mirrors: variables may write overlapping regions with
+  // distinct contents, so one shared domain buffer would cross-clobber.
+  std::map<VarId, Bytes> mirrors_;
 };
 
 }  // namespace corec::workloads

@@ -1,0 +1,362 @@
+// Failpoint framework tests. Registry semantics (arming, probability,
+// hit budgets, config parsing) plus armed end-to-end scenarios: the
+// injected faults must surface as clean failures, detections or
+// repairs — never as corrupted bytes handed to a reader.
+#include "common/failpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "resilience/scrubber.hpp"
+#include "meta/meta_client.hpp"
+#include "meta/meta_service.hpp"
+#include "staging/service.hpp"
+#include "workloads/driver.hpp"
+#include "workloads/mechanisms.hpp"
+#include "workloads/synthetic.hpp"
+
+namespace corec {
+namespace {
+
+using failpoint::Action;
+using failpoint::registry;
+using failpoint::ScopedFailpoint;
+using failpoint::Spec;
+using workloads::make_scheme;
+using workloads::make_synthetic_case;
+using workloads::Mechanism;
+using workloads::MechanismParams;
+using workloads::WorkloadDriver;
+
+// ---- registry semantics --------------------------------------------------
+
+TEST(FailpointRegistry, UnarmedSiteEvaluatesToNothing) {
+  auto hit = COREC_FAILPOINT("fp.test.unarmed");
+  EXPECT_FALSE(static_cast<bool>(hit));
+  EXPECT_EQ(hit.action, Action::kOff);
+}
+
+TEST(FailpointRegistry, ScopedArmFiresAndDisarmsOnExit) {
+  {
+    Spec spec;
+    spec.action = Action::kError;
+    ScopedFailpoint fp("fp.test.scoped", spec);
+    auto hit = COREC_FAILPOINT("fp.test.scoped");
+    EXPECT_TRUE(static_cast<bool>(hit));
+    EXPECT_EQ(hit.action, Action::kError);
+    EXPECT_EQ(fp.hits(), 1u);
+  }
+  EXPECT_FALSE(static_cast<bool>(COREC_FAILPOINT("fp.test.scoped")));
+  EXPECT_EQ(registry().evaluations("fp.test.scoped"), 1u);
+}
+
+TEST(FailpointRegistry, MaxHitsAutoDisarms) {
+  Spec spec;
+  spec.action = Action::kError;
+  spec.max_hits = 2;
+  ScopedFailpoint fp("fp.test.maxhits", spec);
+  EXPECT_TRUE(static_cast<bool>(COREC_FAILPOINT("fp.test.maxhits")));
+  EXPECT_TRUE(static_cast<bool>(COREC_FAILPOINT("fp.test.maxhits")));
+  EXPECT_FALSE(static_cast<bool>(COREC_FAILPOINT("fp.test.maxhits")));
+  EXPECT_EQ(fp.hits(), 2u);
+}
+
+TEST(FailpointRegistry, MaxHitsCountsSinceArming) {
+  Spec spec;
+  spec.action = Action::kError;
+  spec.max_hits = 1;
+  {
+    ScopedFailpoint fp("fp.test.rearm", spec);
+    EXPECT_TRUE(static_cast<bool>(COREC_FAILPOINT("fp.test.rearm")));
+  }
+  // Re-arming must grant a fresh hit budget even though the lifetime
+  // counter already recorded the first arming's hit.
+  {
+    ScopedFailpoint fp("fp.test.rearm", spec);
+    EXPECT_TRUE(static_cast<bool>(COREC_FAILPOINT("fp.test.rearm")));
+  }
+  EXPECT_EQ(registry().hits("fp.test.rearm"), 2u);
+}
+
+TEST(FailpointRegistry, SkipDelaysEligibility) {
+  Spec spec;
+  spec.action = Action::kError;
+  spec.skip = 2;
+  ScopedFailpoint fp("fp.test.skip", spec);
+  EXPECT_FALSE(static_cast<bool>(COREC_FAILPOINT("fp.test.skip")));
+  EXPECT_FALSE(static_cast<bool>(COREC_FAILPOINT("fp.test.skip")));
+  EXPECT_TRUE(static_cast<bool>(COREC_FAILPOINT("fp.test.skip")));
+}
+
+TEST(FailpointRegistry, ProbabilityIsDeterministicAndCalibrated) {
+  Spec spec;
+  spec.action = Action::kError;
+  spec.probability = 0.5;
+  spec.seed = 1234;
+  std::vector<bool> first;
+  {
+    ScopedFailpoint fp("fp.test.prob", spec);
+    for (int i = 0; i < 1000; ++i) {
+      first.push_back(static_cast<bool>(COREC_FAILPOINT("fp.test.prob")));
+    }
+  }
+  std::size_t fired = 0;
+  for (bool b : first) fired += b ? 1 : 0;
+  EXPECT_GT(fired, 350u);
+  EXPECT_LT(fired, 650u);
+  // Same seed, same sequence: armed runs replay bit-for-bit.
+  {
+    ScopedFailpoint fp("fp.test.prob", spec);
+    for (int i = 0; i < 1000; ++i) {
+      EXPECT_EQ(static_cast<bool>(COREC_FAILPOINT("fp.test.prob")),
+                first[static_cast<std::size_t>(i)]);
+    }
+  }
+}
+
+TEST(FailpointRegistry, HitCarriesArgAndRngDraw) {
+  Spec spec;
+  spec.action = Action::kDelay;
+  spec.arg = 777;
+  ScopedFailpoint fp("fp.test.arg", spec);
+  auto a = COREC_FAILPOINT("fp.test.arg");
+  auto b = COREC_FAILPOINT("fp.test.arg");
+  EXPECT_EQ(a.arg, 777u);
+  EXPECT_EQ(b.arg, 777u);
+  EXPECT_NE(a.rng, b.rng);  // fresh draw per hit
+}
+
+TEST(FailpointRegistry, ArmFromStringParsesFullGrammar) {
+  ASSERT_TRUE(registry()
+                  .arm_from_string("fp.test.parse.a=error:p=0.25:hits=3:"
+                                   "skip=1:arg=7:seed=99;"
+                                   "fp.test.parse.b=bitflip")
+                  .ok());
+  auto armed = registry().armed();
+  auto has = [&armed](const char* name) {
+    for (const auto& n : armed) {
+      if (n == name) return true;
+    }
+    return false;
+  };
+  EXPECT_TRUE(has("fp.test.parse.a"));
+  EXPECT_TRUE(has("fp.test.parse.b"));
+  // action "off" disarms through the same grammar.
+  ASSERT_TRUE(registry()
+                  .arm_from_string("fp.test.parse.a=off;fp.test.parse.b=off")
+                  .ok());
+  armed = registry().armed();
+  EXPECT_FALSE(has("fp.test.parse.a"));
+  EXPECT_FALSE(has("fp.test.parse.b"));
+}
+
+TEST(FailpointRegistry, ArmFromStringRejectsBadConfigs) {
+  EXPECT_FALSE(registry().arm_from_string("noequals").ok());
+  EXPECT_FALSE(registry().arm_from_string("x=bogus").ok());
+  EXPECT_FALSE(registry().arm_from_string("x=error:p=abc").ok());
+  EXPECT_FALSE(registry().arm_from_string("x=error:frobnicate=1").ok());
+  EXPECT_FALSE(registry().arm_from_string("=error").ok());
+  registry().disarm("x");  // "x=error:..." may have armed before failing
+}
+
+// ---- armed service sites -------------------------------------------------
+
+staging::ServiceOptions armed_service_options() {
+  auto opts = workloads::table1_service_options();
+  opts.domain = geom::BoundingBox::cube(0, 0, 0, 31, 31, 31);
+  opts.fit.target_bytes = 4096;
+  return opts;
+}
+
+workloads::SyntheticOptions armed_workload() {
+  workloads::SyntheticOptions o;
+  o.domain_extent = 32;
+  o.writer_grid = 2;
+  o.readers = 4;
+  o.time_steps = 12;
+  return o;
+}
+
+TEST(FailpointService, PutAndGetErrorSitesFailCleanly) {
+  sim::Simulation sim;
+  staging::StagingService service(armed_service_options(), &sim,
+                                  make_scheme(Mechanism::kReplication));
+  auto box = geom::BoundingBox::cube(0, 0, 0, 7, 7, 7);
+  Bytes payload(static_cast<std::size_t>(box.volume()));
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<std::uint8_t>(3 + i * 7);
+  }
+  {
+    Spec spec;
+    spec.action = Action::kError;
+    spec.max_hits = 1;
+    ScopedFailpoint fp("staging.put.error", spec);
+    EXPECT_FALSE(service.put(1, 0, box, payload).status.ok());
+  }
+  ASSERT_TRUE(service.put(1, 0, box, payload).status.ok());
+  {
+    Spec spec;
+    spec.action = Action::kError;
+    spec.max_hits = 1;
+    ScopedFailpoint fp("staging.get.error", spec);
+    Bytes out;
+    EXPECT_FALSE(service.get(1, 0, box, &out).status.ok());
+  }
+  Bytes out;
+  ASSERT_TRUE(service.get(1, 0, box, &out).status.ok());
+  EXPECT_EQ(out, payload);
+}
+
+// ---- scenario: metadata quorum loss mid-append ---------------------------
+
+TEST(FailpointMeta, QuorumLossMidAppendNeverCorrupts) {
+  // Every wire transmission of a log record has a 30% chance of
+  // vanishing. The primary must retransmit and gap-repair so that the
+  // acknowledged prefix really is durable on a quorum; killing whoever
+  // is primary mid-run then never surfaces as wrong bytes.
+  Spec drop_spec;
+  drop_spec.action = Action::kError;
+  drop_spec.probability = 0.3;
+  drop_spec.seed = 7;
+  ScopedFailpoint drop("meta.append.drop_ack", drop_spec);
+
+  MechanismParams params;
+  params.recovery.mtbf_seconds = 0.08;
+  sim::Simulation sim;
+  staging::StagingService service(armed_service_options(), &sim,
+                                  make_scheme(Mechanism::kCorec, params));
+  meta::MetaService meta_service(&service, {});
+  meta::MetaClient meta_client(&meta_service);
+  service.attach_metadata(&meta_client);
+  WorkloadDriver driver(&service, {.verify_reads = true});
+
+  auto killed = std::make_shared<ServerId>(kInvalidServer);
+  for (Version step = 3; step + 1 < armed_workload().time_steps;
+       step += 3) {
+    driver.add_hook(step, [&meta_service, killed] {
+      *killed = meta_service.primary_host();
+      meta_service.fail_replica(*killed);
+    });
+    driver.add_hook(step + 1, [&meta_service, killed] {
+      if (*killed != kInvalidServer) {
+        meta_service.restore_replica(*killed);
+      }
+    });
+  }
+
+  auto metrics = driver.run(make_synthetic_case(3, armed_workload()));
+  EXPECT_TRUE(meta_service.available());
+  EXPECT_EQ(metrics.corrupt_reads(), 0u);
+  EXPECT_GE(drop.hits(), 1u);
+  EXPECT_GE(meta_service.stats().failovers, 1u);
+}
+
+// ---- scenario: torn shard write during the replica->EC transition --------
+
+TEST(FailpointStaging, TornShardWriteIsDetectedNeverServed) {
+  Spec torn_spec;
+  torn_spec.action = Action::kPartialWrite;
+  torn_spec.max_hits = 1;
+  ScopedFailpoint torn("staging.shard.torn_write", torn_spec);
+
+  MechanismParams params;
+  params.recovery.mtbf_seconds = 0.08;
+  sim::Simulation sim;
+  staging::StagingService service(armed_service_options(), &sim,
+                                  make_scheme(Mechanism::kCorec, params));
+  WorkloadDriver driver(&service, {.verify_reads = true});
+
+  // Case 5 (write once, read-only): the entity whose replica->EC
+  // transition tears is never rewritten, so the torn shard survives
+  // until a read or the scrubber probes it.
+  auto metrics = driver.run(make_synthetic_case(5, armed_workload()));
+  EXPECT_GE(torn.hits(), 1u)
+      << "workload never reached an encoded placement";
+  EXPECT_EQ(metrics.corrupt_reads(), 0u);
+  // One torn shard stays within RS(k,1) tolerance: decoded around.
+  EXPECT_EQ(metrics.data_loss_reads(), 0u);
+
+  // Whether a read or the scrub probes it first, the mismatch must be
+  // detected and quarantined rather than served.
+  resilience::Scrubber scrub(
+      &service,
+      {.mtbf_seconds = 0.1, .batches = 1, .repair = true,
+       .continuous = false});
+  scrub.run_pass(sim.now());
+  EXPECT_GE(service.integrity().mismatches, 1u);
+  EXPECT_GE(service.integrity().quarantined, 1u);
+}
+
+// ---- scenario: corruption during lazy recovery ---------------------------
+
+TEST(FailpointRecovery, CorruptionDuringLazyRecoveryIsDecodedAround) {
+  // While a lazy rebuild gathers surviving shards, a source shard goes
+  // bad under it. RS(3,2) keeps the stripe decodable with the failed
+  // server's shard plus the corrupt one both treated as erasures.
+  Spec flip_spec;
+  flip_spec.action = Action::kBitFlip;
+  flip_spec.max_hits = 2;
+  flip_spec.seed = 11;
+  ScopedFailpoint flip("recovery.shard.bitflip", flip_spec);
+
+  MechanismParams params;
+  params.k = 3;
+  params.m = 2;
+  params.recovery.mtbf_seconds = 0.08;
+  sim::Simulation sim;
+  staging::StagingService service(armed_service_options(), &sim,
+                                  make_scheme(Mechanism::kCorec, params));
+  WorkloadDriver driver(&service, {.verify_reads = true});
+
+  const ServerId victim = 2;
+  driver.add_hook(5, [&service, victim] { service.kill_server(victim); });
+  driver.add_hook(6, [&service, victim] { service.replace_server(victim); });
+
+  auto metrics = driver.run(make_synthetic_case(3, armed_workload()));
+  EXPECT_GE(flip.hits(), 1u)
+      << "no encoded rebuild ran during the lazy sweep";
+  EXPECT_EQ(metrics.corrupt_reads(), 0u);
+  EXPECT_EQ(metrics.data_loss_reads(), 0u);
+  EXPECT_GE(service.integrity().mismatches, 1u);
+  EXPECT_GE(service.integrity().quarantined, 1u);
+}
+
+// ---- acceptance: armed chaos run, zero corrupted reads -------------------
+
+TEST(FailpointChaos, ArmedChaosRunNeverReturnsCorruptBytes) {
+  Spec torn_spec;
+  torn_spec.action = Action::kPartialWrite;
+  torn_spec.probability = 0.15;
+  torn_spec.seed = 101;
+  Spec flip_spec;
+  flip_spec.action = Action::kBitFlip;
+  flip_spec.probability = 0.15;
+  flip_spec.seed = 202;
+  ScopedFailpoint torn("staging.shard.torn_write", torn_spec);
+  ScopedFailpoint flip("staging.shard.bitflip", flip_spec);
+
+  MechanismParams params;
+  params.m = 2;  // headroom so random double corruption stays decodable
+  params.recovery.mtbf_seconds = 0.08;
+  sim::Simulation sim;
+  staging::StagingService service(armed_service_options(), &sim,
+                                  make_scheme(Mechanism::kCorec, params));
+  WorkloadDriver driver(&service, {.verify_reads = true});
+  resilience::Scrubber scrub(
+      &service,
+      {.mtbf_seconds = 0.2, .batches = 4, .repair = true,
+       .continuous = true});
+  scrub.start();
+
+  auto metrics = driver.run(make_synthetic_case(3, armed_workload()));
+  EXPECT_EQ(metrics.corrupt_reads(), 0u);
+  EXPECT_GE(torn.hits() + flip.hits(), 1u);
+  EXPECT_GE(service.integrity().mismatches + scrub.stats().corruptions_found,
+            1u);
+  EXPECT_GE(scrub.stats().passes_completed, 1u);
+  EXPECT_GE(scrub.stats().shards_verified, 1u);
+}
+
+}  // namespace
+}  // namespace corec

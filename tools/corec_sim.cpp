@@ -15,10 +15,12 @@
 #include <string>
 #include <vector>
 
+#include "common/failpoint.hpp"
 #include "core/corec_scheme.hpp"
 #include "meta/meta_client.hpp"
 #include "net/cost_model.hpp"
 #include "meta/meta_service.hpp"
+#include "resilience/scrubber.hpp"
 #include "workloads/driver.hpp"
 #include "workloads/mechanisms.hpp"
 #include "workloads/s3d.hpp"
@@ -47,6 +49,10 @@ struct CliOptions {
   // directory), plus optional primary-kill steps.
   std::size_t meta_followers = 0;
   std::vector<Version> meta_kills;
+  // Fault-injection config (failpoint grammar) and background scrub
+  // pacing (0 = no scrubber).
+  std::string failpoints;
+  double scrub_mtbf = 0.0;
   // step:server pairs
   std::vector<std::pair<Version, ServerId>> fails;
   std::vector<std::pair<Version, ServerId>> replaces;
@@ -75,6 +81,12 @@ void usage() {
       "                      primary + K followers (default: local)\n"
       "  --meta-kill TS      kill the metadata primary process at step\n"
       "                      TS (repeatable; requires --meta)\n"
+      "  --failpoints SPEC   arm fault-injection points, e.g.\n"
+      "                      'staging.shard.bitflip=bitflip:p=0.1;"
+      "meta.append.drop_ack=error:p=0.3'\n"
+      "                      (also read from $COREC_FAILPOINTS)\n"
+      "  --scrub S           background integrity scrubber paced for an\n"
+      "                      MTBF of S seconds (0 = off, default)\n"
       "  --seed N            RNG seed\n"
       "  --verify            real payloads + byte verification\n"
       "  --calibrate         measure this machine's GF kernel encode\n"
@@ -141,6 +153,10 @@ bool parse_args(int argc, char** argv, CliOptions* cli) {
       cli->floor = std::atof(next());
     } else if (a == "--seed") {
       cli->seed = std::strtoull(next(), nullptr, 10);
+    } else if (a == "--failpoints") {
+      cli->failpoints = next();
+    } else if (a == "--scrub") {
+      cli->scrub_mtbf = std::atof(next());
     } else if (a == "--meta") {
       cli->meta_followers = static_cast<std::size_t>(std::atol(next()));
     } else if (a == "--meta-kill") {
@@ -175,6 +191,13 @@ int main(int argc, char** argv) {
   if (!parse_args(argc, argv, &cli)) {
     usage();
     return 2;
+  }
+  if (!cli.failpoints.empty()) {
+    Status st = failpoint::registry().arm_from_string(cli.failpoints);
+    if (!st.ok()) {
+      std::fprintf(stderr, "--failpoints: %s\n", st.message().c_str());
+      return 2;
+    }
   }
 
   // --- assemble workload + service configuration ------------------------
@@ -266,6 +289,14 @@ int main(int argc, char** argv) {
     driver.add_hook(
         step, [&service, s = server] { service.replace_server(s); });
   }
+  std::unique_ptr<resilience::Scrubber> scrubber;
+  if (cli.scrub_mtbf > 0) {
+    resilience::ScrubOptions scrub_opts;
+    scrub_opts.mtbf_seconds = cli.scrub_mtbf;
+    scrubber =
+        std::make_unique<resilience::Scrubber>(&service, scrub_opts);
+    scrubber->start();
+  }
   RunMetrics metrics = driver.run(plan);
 
   // --- report -------------------------------------------------------------
@@ -333,6 +364,30 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(ms.catchups),
                 ms.catchup_time.mean() / 1e3,
                 static_cast<unsigned long long>(ms.ops_lost_unacked));
+  }
+  {
+    const auto& in = service.integrity();
+    std::vector<std::string> armed = failpoint::registry().armed();
+    if (!cli.failpoints.empty() || in.checks > 0) {
+      std::printf("integrity       : %llu checksum checks, %llu "
+                  "mismatches, %llu quarantined; %zu failpoint(s) still "
+                  "armed\n",
+                  static_cast<unsigned long long>(in.checks),
+                  static_cast<unsigned long long>(in.mismatches),
+                  static_cast<unsigned long long>(in.quarantined),
+                  armed.size());
+    }
+  }
+  if (scrubber != nullptr) {
+    const auto& ss = scrubber->stats();
+    std::printf("scrubber        : %llu pass(es), %llu shards verified "
+                "(%llu B), %llu corrupt, %llu missing, %llu repairs\n",
+                static_cast<unsigned long long>(ss.passes_completed),
+                static_cast<unsigned long long>(ss.shards_verified),
+                static_cast<unsigned long long>(ss.bytes_verified),
+                static_cast<unsigned long long>(ss.corruptions_found),
+                static_cast<unsigned long long>(ss.missing_found),
+                static_cast<unsigned long long>(ss.repairs_triggered));
   }
   if (cli.verify) {
     std::printf("verification    : %s\n",

@@ -1,0 +1,284 @@
+// Microbenchmarks of the zero-copy data plane: replicated put (shared
+// payload buffers), region get (scatter/gather assembly), and the
+// replica→EC transition in per-object vs batched-pipelined form at
+// RS(8,2). Counters expose the payload-traffic invariants the buffers
+// are meant to deliver — allocations and bytes copied per object, CRC
+// recomputes vs cache hits — so BENCH_staging.json tracks copy-count
+// regressions PR over PR, not just wall time.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/batched_encoder.hpp"
+#include "core/encoding_workflow.hpp"
+#include "resilience/primitives.hpp"
+#include "resilience/schemes.hpp"
+#include "staging/service.hpp"
+
+namespace {
+
+using corec::Bytes;
+using corec::PayloadBuffer;
+using corec::ServerId;
+using corec::SimTime;
+using corec::core::BatchedEncoder;
+using corec::core::BatchOptions;
+using corec::core::EncodingWorkflow;
+using corec::staging::DataObject;
+using corec::staging::ObjectDescriptor;
+using corec::staging::StagingService;
+
+constexpr std::size_t kK = 8;
+constexpr std::size_t kM = 2;
+constexpr std::size_t kReplicas = 2;  // group size 3
+
+corec::staging::ServiceOptions service_options() {
+  corec::staging::ServiceOptions opts;
+  opts.topology = corec::net::Topology(4, 4, 1);  // 16 servers
+  opts.domain = corec::geom::BoundingBox::cube(0, 0, 0, 255, 255, 255);
+  opts.fit.element_size = 1;
+  opts.fit.target_bytes = 1u << 20;
+  return opts;
+}
+
+struct Harness {
+  Harness()
+      : service(service_options(), &sim,
+                std::make_unique<corec::resilience::NoneScheme>()) {}
+  corec::sim::Simulation sim;
+  StagingService service;
+};
+
+ObjectDescriptor make_desc(std::uint64_t i) {
+  ObjectDescriptor desc;
+  desc.var = static_cast<corec::VarId>(1 + i % 13);
+  desc.version = static_cast<corec::Version>(i);
+  auto lo = static_cast<std::int64_t>((i % 16) * 16);
+  desc.box = corec::geom::BoundingBox::cube(lo, 0, 0, lo + 15, 15, 15);
+  return desc;
+}
+
+Bytes make_payload(std::size_t size, std::uint8_t seed) {
+  Bytes b(size);
+  for (std::size_t i = 0; i < size; ++i) {
+    b[i] = static_cast<std::uint8_t>(seed + i * 131);
+  }
+  return b;
+}
+
+/// N-way replicated placement of fresh objects. The payload is copied
+/// exactly once into its backing store; every replica placement after
+/// that is a refcount bump, so allocs/object stays at 1 and
+/// copied_bytes/object at the logical size regardless of kReplicas.
+void BM_PutReplicated(benchmark::State& state) {
+  const std::size_t size = static_cast<std::size_t>(state.range(0));
+  const std::size_t objects = 32;
+  Bytes src = make_payload(size, 7);
+  std::uint64_t placed = 0;
+  corec::payload_metrics().reset();
+  for (auto _ : state) {
+    state.PauseTiming();
+    Harness h;
+    corec::staging::Breakdown bd;
+    state.ResumeTiming();
+    for (std::size_t i = 0; i < objects; ++i) {
+      auto obj =
+          DataObject::real(make_desc(i), PayloadBuffer::copy_of(src));
+      corec::resilience::place_replicated(
+          h.service, obj,
+          static_cast<ServerId>(i % h.service.num_servers()), kReplicas,
+          0, &bd);
+    }
+    placed += objects;
+  }
+  const auto& pm = corec::payload_metrics();
+  state.counters["allocs_per_obj"] =
+      static_cast<double>(pm.allocations.load()) /
+      static_cast<double>(placed);
+  state.counters["copied_bytes_per_obj"] =
+      static_cast<double>(pm.bytes_copied.load()) /
+      static_cast<double>(placed);
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(placed * size));
+}
+BENCHMARK(BM_PutReplicated)->Arg(64 << 10)->Arg(1 << 20);
+
+/// Whole-object get from a replicated store: one gather copy into the
+/// caller's buffer; no CRC recompute on the unmutated payload.
+void BM_GetReplicated(benchmark::State& state) {
+  const std::size_t size = 1u << 20;
+  Harness h;
+  corec::staging::Breakdown bd;
+  auto box = corec::geom::BoundingBox::cube(0, 0, 0, 255, 255, 15);
+  ObjectDescriptor desc{1, 1, box, corec::staging::kWholeObject};
+  Bytes src = make_payload(size, 3);
+  auto obj = DataObject::real(desc, PayloadBuffer::copy_of(src));
+  corec::resilience::place_replicated(h.service, obj, 0, kReplicas, 0,
+                                      &bd);
+  corec::payload_metrics().reset();
+  std::uint64_t reads = 0;
+  for (auto _ : state) {
+    Bytes out;
+    auto r = h.service.get(1, 1, box, &out);
+    if (!r.status.ok() || out.size() != size) {
+      state.SkipWithError("get failed");
+      return;
+    }
+    benchmark::DoNotOptimize(out);
+    ++reads;
+  }
+  const auto& pm = corec::payload_metrics();
+  state.counters["copied_bytes_per_get"] =
+      static_cast<double>(pm.bytes_copied.load()) /
+      static_cast<double>(reads);
+  state.counters["crc_recomputes_per_get"] =
+      static_cast<double>(pm.crc_computed.load()) /
+      static_cast<double>(reads);
+  state.SetBytesProcessed(static_cast<std::int64_t>(reads * size));
+}
+BENCHMARK(BM_GetReplicated);
+
+std::vector<DataObject> transition_set(std::size_t objects,
+                                       std::size_t size) {
+  std::vector<DataObject> set;
+  set.reserve(objects);
+  for (std::size_t i = 0; i < objects; ++i) {
+    set.push_back(DataObject::real(
+        make_desc(100 + i),
+        PayloadBuffer::wrap(
+            make_payload(size, static_cast<std::uint8_t>(i)))));
+  }
+  return set;
+}
+
+std::vector<ServerId> holders_of(const StagingService& service,
+                                 ServerId primary) {
+  std::vector<ServerId> holders;
+  for (std::size_t r = 0; r <= kReplicas; ++r) {
+    holders.push_back(static_cast<ServerId>(
+        (primary + r) % service.num_servers()));
+  }
+  return holders;
+}
+
+/// Baseline replica→EC transition: one token round-trip and one inline
+/// single-threaded stripe build per object.
+void BM_TransitionPerObject(benchmark::State& state) {
+  const std::size_t objects = 64;
+  const std::size_t size = 1u << 20;  // 64 MiB of cold data per drain
+  std::uint64_t moved = 0;
+  SimTime sim_ns = 0;
+  corec::payload_metrics().reset();
+  for (auto _ : state) {
+    state.PauseTiming();
+    Harness h;
+    EncodingWorkflow workflow(&h.service, kReplicas + 1, {});
+    auto set = transition_set(objects, size);
+    corec::staging::Breakdown bd;
+    state.ResumeTiming();
+    SimTime last = 0;
+    for (std::size_t i = 0; i < objects; ++i) {
+      ServerId primary =
+          static_cast<ServerId>(i % h.service.num_servers());
+      auto holders = holders_of(h.service, primary);
+      ServerId encoder = workflow.pick_encoder(holders, last);
+      SimTime start = workflow.acquire(encoder, 0);
+      SimTime encode_done = start;
+      SimTime durable = corec::resilience::place_encoded(
+          h.service, set[i], primary, kK, kM, encoder, start, &bd,
+          &encode_done);
+      workflow.release(encoder, encode_done);
+      last = std::max(last, durable);
+    }
+    benchmark::DoNotOptimize(last);
+    moved += objects;
+    sim_ns = last;
+  }
+  state.counters["copied_bytes_per_obj"] =
+      static_cast<double>(
+          corec::payload_metrics().bytes_copied.load()) /
+      static_cast<double>(moved);
+  // Simulated staging throughput: cold bytes retired per simulated
+  // second of the drain — the metric the paper's figures use.
+  state.counters["sim_drain_ms"] = static_cast<double>(sim_ns) / 1e6;
+  state.counters["sim_GBps"] =
+      static_cast<double>(objects * size) /
+      (static_cast<double>(sim_ns) / 1e9) / 1e9;
+  state.SetBytesProcessed(static_cast<std::int64_t>(moved * size));
+}
+BENCHMARK(BM_TransitionPerObject)->Unit(benchmark::kMillisecond);
+
+/// Batched pipelined transition of the same 64 MiB cold set: stripe
+/// prep fans out over the thread pool, verify of batch i+1 overlaps
+/// encode of batch i, and each batch holds the token once.
+void BM_TransitionBatched(benchmark::State& state) {
+  const std::size_t objects = 64;
+  const std::size_t size = 1u << 20;
+  BatchOptions opts;
+  opts.max_batch_bytes = 64u << 20;
+  std::uint64_t moved = 0;
+  std::uint64_t tokens = 0;
+  SimTime sim_ns = 0;
+  corec::payload_metrics().reset();
+  for (auto _ : state) {
+    state.PauseTiming();
+    Harness h;
+    EncodingWorkflow workflow(&h.service, kReplicas + 1, {});
+    BatchedEncoder encoder(&h.service, &workflow, kK, kM, opts);
+    auto set = transition_set(objects, size);
+    corec::staging::Breakdown bd;
+    state.ResumeTiming();
+    for (std::size_t i = 0; i < objects; ++i) {
+      ServerId primary =
+          static_cast<ServerId>(i % h.service.num_servers());
+      encoder.enqueue(set[i], primary, holders_of(h.service, primary));
+    }
+    SimTime last = encoder.drain(0, &bd);
+    benchmark::DoNotOptimize(last);
+    moved += encoder.stats().objects;
+    tokens = encoder.stats().token_acquires;
+    sim_ns = last;
+  }
+  state.counters["copied_bytes_per_obj"] =
+      static_cast<double>(
+          corec::payload_metrics().bytes_copied.load()) /
+      static_cast<double>(moved);
+  state.counters["token_acquires_per_drain"] =
+      static_cast<double>(tokens);
+  state.counters["sim_drain_ms"] = static_cast<double>(sim_ns) / 1e6;
+  state.counters["sim_GBps"] =
+      static_cast<double>(objects * size) /
+      (static_cast<double>(sim_ns) / 1e9) / 1e9;
+  state.SetBytesProcessed(static_cast<std::int64_t>(moved * size));
+}
+BENCHMARK(BM_TransitionBatched)->Unit(benchmark::kMillisecond);
+
+/// Zero-copy stripe preparation alone: chunk views plus the fused
+/// parity encode, no placement. The only copies are the padded tail
+/// chunk and the parity buffer write.
+void BM_StripePrep(benchmark::State& state) {
+  const std::size_t size = static_cast<std::size_t>(state.range(0));
+  Harness h;
+  const auto& codec = h.service.codec(kK, kM);
+  auto obj = DataObject::real(make_desc(1),
+                              PayloadBuffer::wrap(make_payload(size, 5)));
+  corec::payload_metrics().reset();
+  std::uint64_t built = 0;
+  for (auto _ : state) {
+    auto stripe = corec::resilience::make_stripe_payload(codec, obj, kK, kM);
+    benchmark::DoNotOptimize(stripe);
+    ++built;
+  }
+  state.counters["copied_bytes_per_stripe"] =
+      static_cast<double>(
+          corec::payload_metrics().bytes_copied.load()) /
+      static_cast<double>(built);
+  state.SetBytesProcessed(static_cast<std::int64_t>(built * size));
+}
+BENCHMARK(BM_StripePrep)->Arg(64 << 10)->Arg(1 << 20)->Arg(8 << 20);
+
+}  // namespace
+
+BENCHMARK_MAIN();

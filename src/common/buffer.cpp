@@ -1,0 +1,100 @@
+#include "common/buffer.hpp"
+
+#include <utility>
+
+#include "common/checksum.hpp"
+
+namespace corec {
+
+PayloadMetrics& payload_metrics() {
+  static PayloadMetrics metrics;
+  return metrics;
+}
+
+std::shared_ptr<PayloadBuffer::Rep> PayloadBuffer::make_rep(Bytes bytes) {
+  auto rep = std::make_shared<Rep>();
+  rep->bytes = std::move(bytes);
+  payload_metrics().allocations.fetch_add(1, std::memory_order_relaxed);
+  return rep;
+}
+
+PayloadBuffer PayloadBuffer::wrap(Bytes bytes) {
+  PayloadBuffer buf;
+  if (bytes.empty()) return buf;
+  buf.size_ = bytes.size();
+  buf.rep_ = make_rep(std::move(bytes));
+  return buf;
+}
+
+PayloadBuffer PayloadBuffer::copy_of(ByteSpan data) {
+  PayloadBuffer buf = wrap(Bytes(data.begin(), data.end()));
+  payload_metrics().bytes_copied.fetch_add(data.size(),
+                                           std::memory_order_relaxed);
+  return buf;
+}
+
+PayloadBuffer PayloadBuffer::zeros(std::size_t size) {
+  return wrap(Bytes(size, 0));
+}
+
+PayloadBuffer PayloadBuffer::slice(std::size_t offset,
+                                   std::size_t length) const {
+  PayloadBuffer view;
+  if (length == 0 || rep_ == nullptr || offset >= size_) return view;
+  if (length > size_ - offset) length = size_ - offset;
+  view.rep_ = rep_;
+  view.offset_ = offset_ + offset;
+  view.size_ = length;
+  // An identical view inherits the cached tag; a proper sub-range
+  // covers different bytes and must recompute.
+  if (offset == 0 && length == size_ && crc_valid_) {
+    view.crc_ = crc_;
+    view.crc_gen_ = crc_gen_;
+    view.crc_valid_ = true;
+  }
+  return view;
+}
+
+MutableByteSpan PayloadBuffer::mutable_span() {
+  if (rep_ == nullptr || size_ == 0) return {};
+  auto& metrics = payload_metrics();
+  const bool shared = rep_.use_count() > 1;
+  const bool partial = offset_ != 0 || size_ != rep_->bytes.size();
+  if (shared || partial) {
+    Bytes priv(rep_->bytes.begin() + static_cast<std::ptrdiff_t>(offset_),
+               rep_->bytes.begin() +
+                   static_cast<std::ptrdiff_t>(offset_ + size_));
+    metrics.bytes_copied.fetch_add(size_, std::memory_order_relaxed);
+    metrics.cow_detaches.fetch_add(1, std::memory_order_relaxed);
+    rep_ = make_rep(std::move(priv));
+    offset_ = 0;
+  }
+  rep_->generation.fetch_add(1, std::memory_order_relaxed);
+  crc_valid_ = false;
+  return {rep_->bytes.data(), size_};
+}
+
+std::uint32_t PayloadBuffer::crc32c() const {
+  if (rep_ == nullptr || size_ == 0) return 0;
+  auto& metrics = payload_metrics();
+  const std::uint64_t gen = rep_->generation.load(std::memory_order_relaxed);
+  if (crc_valid_ && crc_gen_ == gen) {
+    metrics.crc_cache_hits.fetch_add(1, std::memory_order_relaxed);
+    return crc_;
+  }
+  crc_ = corec::crc32c(data(), size_);
+  crc_gen_ = gen;
+  crc_valid_ = true;
+  metrics.crc_computed.fetch_add(1, std::memory_order_relaxed);
+  return crc_;
+}
+
+Bytes PayloadBuffer::to_bytes() const {
+  if (rep_ == nullptr || size_ == 0) return {};
+  payload_metrics().bytes_copied.fetch_add(size_, std::memory_order_relaxed);
+  return Bytes(rep_->bytes.begin() + static_cast<std::ptrdiff_t>(offset_),
+               rep_->bytes.begin() +
+                   static_cast<std::ptrdiff_t>(offset_ + size_));
+}
+
+}  // namespace corec

@@ -2,8 +2,11 @@
 // transport for message payloads and metadata records.
 #pragma once
 
+#include <atomic>
+#include <cstddef>
 #include <cstdint>
 #include <cstring>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
@@ -21,12 +24,146 @@ using ByteSpan = std::span<const std::uint8_t>;
 /// Mutable view over bytes (non-owning).
 using MutableByteSpan = std::span<std::uint8_t>;
 
+/// Process-wide counters for payload-buffer traffic. The benches read
+/// these to prove replication is O(1) allocations per object and that
+/// unmutated reads skip CRC recompute; tests reset() them per case.
+struct PayloadMetrics {
+  std::atomic<std::uint64_t> allocations{0};    // backing stores created
+  std::atomic<std::uint64_t> bytes_copied{0};   // bytes memcpy'd into them
+  std::atomic<std::uint64_t> cow_detaches{0};   // private copies on mutate
+  std::atomic<std::uint64_t> crc_computed{0};   // full CRC32C passes
+  std::atomic<std::uint64_t> crc_cache_hits{0}; // recomputes avoided
+
+  void reset() {
+    allocations.store(0, std::memory_order_relaxed);
+    bytes_copied.store(0, std::memory_order_relaxed);
+    cow_detaches.store(0, std::memory_order_relaxed);
+    crc_computed.store(0, std::memory_order_relaxed);
+    crc_cache_hits.store(0, std::memory_order_relaxed);
+  }
+};
+
+PayloadMetrics& payload_metrics();
+
+/// Refcounted, logically-immutable byte buffer with cheap slicing.
+///
+/// Copying a PayloadBuffer bumps a refcount on the shared backing store;
+/// N-way replica placement therefore costs N pointer copies, not N
+/// payload copies. `slice()` produces views into the same store, so
+/// erasure transitions can feed chunk views straight into encode_view
+/// with zero concatenation. Mutation goes through `mutable_span()`,
+/// which takes a private copy first when the store is shared
+/// (copy-on-write) — fault injection on one replica can never alias
+/// into its siblings.
+///
+/// Each mutation bumps the store's generation counter; `crc32c()`
+/// caches the last computed tag against that generation, so unmutated
+/// reads skip recompute while a corrupted buffer always re-checksums.
+/// The cache only ever holds values this view actually computed —
+/// claimed tags from the wire never seed it.
+///
+/// Thread-safety: the refcount and generation are atomic, so distinct
+/// views may be copied/read concurrently (ParallelCoder workers read
+/// shared views). Mutating a view, or calling crc32c() on the *same*
+/// view from two threads, requires external synchronization — the
+/// simulator is single-threaded and ConcurrentStore holds its lock
+/// across mutations, which satisfies this.
+class PayloadBuffer {
+ public:
+  PayloadBuffer() = default;
+
+  /// Takes ownership of `bytes` as a new backing store (one allocation,
+  /// zero copies).
+  static PayloadBuffer wrap(Bytes bytes);
+
+  /// Copies `data` into a fresh backing store.
+  static PayloadBuffer copy_of(ByteSpan data);
+
+  /// A fresh zero-filled backing store of `size` bytes.
+  static PayloadBuffer zeros(std::size_t size);
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  const std::uint8_t* data() const {
+    return rep_ == nullptr ? nullptr : rep_->bytes.data() + offset_;
+  }
+  std::uint8_t operator[](std::size_t i) const { return data()[i]; }
+  ByteSpan span() const { return {data(), size_}; }
+  ByteSpan subspan(std::size_t offset, std::size_t length) const {
+    return span().subspan(offset, length);
+  }
+
+  /// View of `[offset, offset+length)` sharing this backing store.
+  PayloadBuffer slice(std::size_t offset, std::size_t length) const;
+
+  /// View of the first `length` bytes sharing this backing store.
+  PayloadBuffer prefix(std::size_t length) const { return slice(0, length); }
+
+  /// True when both views share one backing store.
+  bool shares_with(const PayloadBuffer& other) const {
+    return rep_ != nullptr && rep_ == other.rep_;
+  }
+
+  /// Number of views over this backing store (0 for the empty buffer).
+  long use_count() const { return rep_ == nullptr ? 0 : rep_.use_count(); }
+
+  /// Mutation epoch of the backing store; bumps on every mutable_span().
+  std::uint64_t generation() const {
+    return rep_ == nullptr
+               ? 0
+               : rep_->generation.load(std::memory_order_relaxed);
+  }
+
+  /// Writable access. Detaches to a private copy first when the store
+  /// is shared or this view covers only part of it; always bumps the
+  /// generation so cached CRC tags are invalidated.
+  MutableByteSpan mutable_span();
+
+  /// CRC32C of this view, cached per (view, generation).
+  std::uint32_t crc32c() const;
+
+  /// Materializes an owned copy of this view's bytes.
+  Bytes to_bytes() const;
+
+  friend bool operator==(const PayloadBuffer& a, const PayloadBuffer& b) {
+    return a.size_ == b.size_ &&
+           (a.size_ == 0 ||
+            std::memcmp(a.data(), b.data(), a.size_) == 0);
+  }
+  friend bool operator==(const PayloadBuffer& a, const Bytes& b) {
+    return a.size_ == b.size() &&
+           (a.size_ == 0 ||
+            std::memcmp(a.data(), b.data(), a.size_) == 0);
+  }
+
+ private:
+  struct Rep {
+    Bytes bytes;
+    std::atomic<std::uint64_t> generation{0};
+  };
+
+  static std::shared_ptr<Rep> make_rep(Bytes bytes);
+
+  std::shared_ptr<Rep> rep_;
+  std::size_t offset_ = 0;
+  std::size_t size_ = 0;
+  // Last CRC this view computed, valid while the store's generation
+  // still matches crc_gen_. Mutable: crc32c() is logically const.
+  mutable std::uint32_t crc_ = 0;
+  mutable std::uint64_t crc_gen_ = 0;
+  mutable bool crc_valid_ = false;
+};
+
 /// Appends POD values and length-prefixed blobs to a growing byte vector.
 /// Little-endian fixed-width encoding: deterministic across platforms we
 /// target and trivially fast.
 class BufferWriter {
  public:
   explicit BufferWriter(Bytes* out) : out_(out) {}
+
+  /// Pre-sizes for `extra` more bytes. Encoders that know their output
+  /// length call this once up front instead of growing per-field.
+  void reserve(std::size_t extra) { out_->reserve(out_->size() + extra); }
 
   template <typename T>
   void put(T v) {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstring>
 
 #include "resilience/groups.hpp"
 #include "resilience/primitives.hpp"
@@ -25,6 +26,10 @@ void CorecScheme::bind(staging::StagingService* service) {
   ResilienceScheme::bind(service);
   workflow_ = std::make_unique<EncodingWorkflow>(
       service, options_.n_level + 1, options_.workflow);
+  if (options_.batch_transitions) {
+    batch_encoder_ = std::make_unique<BatchedEncoder>(
+        service, workflow_.get(), options_.k, options_.m, options_.batch);
+  }
   recovery_ = std::make_unique<RecoveryManager>(service, options_.recovery);
 }
 
@@ -42,6 +47,13 @@ bool CorecScheme::fits_floor(std::ptrdiff_t extra_stored,
       static_cast<double>(extra_logical);
   double stored = static_cast<double>(service_->stored_bytes()) +
                   static_cast<double>(extra_stored);
+  // Queued batch transitions were already retired from the stores but
+  // their stripes have not landed yet; count those future bytes so the
+  // sweep does not over-demote between enqueue and drain.
+  if (batch_encoder_ != nullptr) {
+    stored +=
+        static_cast<double>(batch_encoder_->pending_encoded_bytes());
+  }
   if (stored <= 0.0) return true;
   return logical / stored >= options_.efficiency_floor;
 }
@@ -216,10 +228,12 @@ bool CorecScheme::materialize(const ObjectDescriptor& desc,
     }
     return false;
   }
-  // Concatenate the data chunks (all present and verified in the
-  // promotion path; a degraded promotion is simply skipped).
+  // Gather the data chunks into one exact logical_size allocation
+  // (all present and verified in the promotion path; a degraded
+  // promotion is simply skipped). Each verified chunk view is copied
+  // straight to its final offset — no concatenate-and-resize.
   bool phantom = false;
-  Bytes payload;
+  Bytes payload(loc->logical_size, 0);
   for (std::uint32_t i = 0; i < loc->k; ++i) {
     ServerId s = loc->stripe_servers[i];
     auto shard_desc = desc.shard_of(static_cast<ShardIndex>(1 + i));
@@ -234,15 +248,26 @@ bool CorecScheme::materialize(const ObjectDescriptor& desc,
     if (stored->object.phantom) {
       phantom = true;
     } else {
-      payload.insert(payload.end(), stored->object.data.begin(),
-                     stored->object.data.end());
+      const std::size_t begin =
+          static_cast<std::size_t>(i) * loc->chunk_size;
+      if (begin >= payload.size()) continue;
+      const std::size_t want = std::min<std::size_t>(
+          payload.size() - begin, stored->object.data.size());
+      std::memcpy(payload.data() + begin, stored->object.data.data(),
+                  want);
     }
   }
   if (phantom) {
     *out = DataObject::make_phantom(desc, loc->logical_size);
   } else {
-    payload.resize(loc->logical_size);
-    *out = DataObject::real(desc, std::move(payload));
+    payload_metrics().bytes_copied.fetch_add(payload.size(),
+                                             std::memory_order_relaxed);
+    // The chunks were verified against their recorded CRCs above, so
+    // the whole-object tag from the directory is trusted here and the
+    // fresh full-payload CRC pass is skipped.
+    *out = DataObject::with_checksum(
+        desc, PayloadBuffer::wrap(std::move(payload)),
+        loc->object_checksum);
   }
   return true;
 }
@@ -269,8 +294,14 @@ void CorecScheme::demote(const ObjectDescriptor& desc, SimTime now) {
 
   retire_object(*service_, desc);
   pool_.erase(desc);
-  encode_via_workflow(obj, primary, holders, holders, now,
-                      &stats_.background);
+  if (batch_encoder_ != nullptr) {
+    // Queue the transition; the sweep drains each group's queue in
+    // multi-stripe batches under a single token hold.
+    batch_encoder_->enqueue(std::move(obj), primary, std::move(holders));
+  } else {
+    encode_via_workflow(obj, primary, holders, holders, now,
+                        &stats_.background);
+  }
   ++stats_.demotions;
 }
 
@@ -321,6 +352,15 @@ void CorecScheme::end_of_step(Version step, SimTime now) {
   pending.swap(pending_demotions_);
   for (const auto& desc : pending) demote(desc, now);
 
+  // Batched mode: the write-path transitions above only queued; drain
+  // them now, in multi-stripe batches per token group.
+  auto drain_batches = [this, now] {
+    if (batch_encoder_ != nullptr && !batch_encoder_->empty()) {
+      batch_encoder_->drain(now, &stats_.background);
+    }
+  };
+  drain_batches();
+
   // Snapshot the pool (replicated entities) and the encoded set.
   struct PoolEntry {
     ObjectDescriptor desc;
@@ -370,6 +410,7 @@ void CorecScheme::end_of_step(Version step, SimTime now) {
     demote(remaining[evict].desc, now);
     ++evict;
   }
+  drain_batches();
 
   // 3. Promote hot encoded entities while the floor allows, swapping
   //    out strictly-colder pool members when it does not (the case-2
@@ -421,6 +462,10 @@ void CorecScheme::end_of_step(Version step, SimTime now) {
     promote(cand.desc, now);
     ++promoted;
   }
+  // Swap-evictions during the promotion phase may have queued more
+  // transitions; everything must land before the step boundary so
+  // directory state and the floor are consistent for callers.
+  drain_batches();
 }
 
 std::unique_ptr<CorecScheme> make_corec(const CorecOptions& options) {

@@ -16,6 +16,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "core/batched_encoder.hpp"
 #include "core/classifier.hpp"
 #include "core/encoding_workflow.hpp"
 #include "core/recovery.hpp"
@@ -38,6 +39,11 @@ struct CorecOptions {
   RecoveryOptions recovery;
   /// Cap on background promotions per end-of-step sweep.
   std::size_t max_promotions_per_step = 64;
+  /// Drain cold transitions through the BatchedEncoder (multi-stripe
+  /// batches, one token hold per batch, verify/encode pipelining)
+  /// instead of one workflow round-trip per object.
+  bool batch_transitions = false;
+  BatchOptions batch;
 };
 
 /// Counters exposed for the breakdown/ablation benches.
@@ -72,6 +78,10 @@ class CorecScheme final : public staging::ResilienceScheme {
   const AccessClassifier& classifier() const { return classifier_; }
   const EncodingWorkflow& workflow() const { return *workflow_; }
   const CorecOptions& corec_options() const { return options_; }
+  /// Non-null when batch_transitions is enabled.
+  const BatchedEncoder* batch_encoder() const {
+    return batch_encoder_.get();
+  }
 
   /// Current storage efficiency as the scheme tracks it.
   double efficiency() const;
@@ -105,6 +115,7 @@ class CorecScheme final : public staging::ResilienceScheme {
   CorecOptions options_;
   AccessClassifier classifier_;
   std::unique_ptr<EncodingWorkflow> workflow_;
+  std::unique_ptr<BatchedEncoder> batch_encoder_;
   std::unique_ptr<RecoveryManager> recovery_;
   CorecStats stats_;
   std::size_t logical_total_ = 0;

@@ -56,6 +56,10 @@ class EncodingWorkflow {
   /// Total virtual time spent waiting on tokens.
   SimTime token_wait() const { return token_wait_; }
 
+  /// Token group a server belongs to. The batched encoder buckets its
+  /// queue by this so one acquire/release covers a whole batch.
+  std::size_t token_group(ServerId s) const { return group_of(s); }
+
  private:
   std::size_t group_of(ServerId s) const;
 

@@ -58,6 +58,9 @@ void region_mul_add(std::uint8_t c, std::span<const std::uint8_t> src,
 void region_mul(std::uint8_t c, std::span<const std::uint8_t> src,
                 std::span<std::uint8_t> dst) {
   assert(src.size() == dst.size());
+  // Empty vectors hand out a null data(); memset/memcpy declare their
+  // pointers nonnull, so bail before the dispatch on c.
+  if (dst.empty()) return;
   if (c == 0) {
     std::memset(dst.data(), 0, dst.size());
     return;

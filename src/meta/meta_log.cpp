@@ -38,11 +38,16 @@ void MetaLog::reset(std::uint64_t durable_seq) {
 
 Bytes MetaLog::encode_tail(std::uint64_t after_seq) const {
   std::uint64_t count = 0;
+  std::size_t total = sizeof(std::uint32_t) + sizeof(std::uint64_t);
   for (const OpRecord& op : records_) {
-    if (op.seq > after_seq) ++count;
+    if (op.seq > after_seq) {
+      ++count;
+      total += record_bytes(op);
+    }
   }
   Bytes out;
   BufferWriter w(&out);
+  w.reserve(total);  // exact tail size known up front
   w.put<std::uint32_t>(kLogTailMagic);
   w.put<std::uint64_t>(count);
   for (const OpRecord& op : records_) {
@@ -83,10 +88,13 @@ StatusOr<std::vector<OpRecord>> MetaLog::decode_tail(ByteSpan tail) {
 }
 
 std::size_t MetaLog::record_bytes(const OpRecord& op) {
-  Bytes scratch;
-  BufferWriter w(&scratch);
-  staging::encode_op_record(op, &w);
-  return scratch.size();
+  // Exact arithmetic instead of a throwaway scratch encode per record.
+  std::size_t total = sizeof(std::uint64_t) + sizeof(std::uint8_t) +
+                      staging::encoded_descriptor_size(op.desc);
+  if (op.kind == MetaOpKind::kUpsert) {
+    total += staging::encoded_location_size(op.loc);
+  }
+  return total;
 }
 
 }  // namespace corec::meta

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstring>
+#include <utility>
 
 #include "common/failpoint.hpp"
 #include "resilience/groups.hpp"
@@ -92,10 +94,67 @@ SimTime place_replicated(StagingService& service, const DataObject& obj,
   return std::max(durable + cost.metadata_op, meta_ack);
 }
 
+StripePayload make_stripe_payload(const erasure::Codec& codec,
+                                  const DataObject& obj, std::size_t k,
+                                  std::size_t m) {
+  StripePayload stripe;
+  stripe.chunk_size =
+      (obj.logical_size + k - 1) / std::max<std::size_t>(k, 1);
+  if (obj.phantom) return stripe;
+  const std::size_t chunk = stripe.chunk_size;
+
+  stripe.shards.reserve(k + m);
+  std::vector<ByteSpan> data_spans(k);
+  // Data shards: views into obj.data, zero concatenation. Only a chunk
+  // that runs past the payload end (the padded tail) materializes.
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::size_t begin = i * chunk;
+    const std::size_t have =
+        begin < obj.data.size() ? obj.data.size() - begin : 0;
+    PayloadBuffer view;
+    if (have >= chunk) {
+      view = obj.data.slice(begin, chunk);
+    } else {
+      Bytes padded(chunk, 0);
+      if (have > 0) {
+        std::memcpy(padded.data(), obj.data.data() + begin, have);
+        payload_metrics().bytes_copied.fetch_add(
+            have, std::memory_order_relaxed);
+      }
+      view = PayloadBuffer::wrap(std::move(padded));
+    }
+    data_spans[i] = view.span();
+    stripe.shards.push_back(DataObject::real(
+        obj.desc.shard_of(static_cast<ShardIndex>(1 + i)),
+        std::move(view)));
+  }
+
+  // Parity: one allocation for all m chunks, written in place by the
+  // fused view kernels, then sliced into per-shard views.
+  PayloadBuffer parity = PayloadBuffer::zeros(chunk * m);
+  if (chunk > 0 && m > 0) {
+    MutableByteSpan parity_all = parity.mutable_span();
+    std::vector<MutableByteSpan> parity_spans(m);
+    for (std::size_t j = 0; j < m; ++j) {
+      parity_spans[j] = parity_all.subspan(j * chunk, chunk);
+    }
+    Status est = codec.encode_view(data_spans.data(), k,
+                                   parity_spans.data(), m);
+    assert(est.ok());
+    (void)est;
+  }
+  for (std::size_t j = 0; j < m; ++j) {
+    stripe.shards.push_back(DataObject::real(
+        obj.desc.shard_of(static_cast<ShardIndex>(1 + k + j)),
+        parity.slice(j * chunk, chunk)));
+  }
+  return stripe;
+}
+
 SimTime place_encoded(StagingService& service, const DataObject& obj,
                       ServerId primary, std::size_t k, std::size_t m,
                       ServerId encoder, SimTime start, Breakdown* bd,
-                      SimTime* encode_done) {
+                      SimTime* encode_done, const StripePayload* pre) {
   const auto& cost = service.cost();
   const std::size_t n = k + m;
   const std::size_t chunk_size =
@@ -121,30 +180,19 @@ SimTime place_encoded(StagingService& service, const DataObject& obj,
   SimTime t_enc = service.serve_at(encoder, start, enc);
   if (encode_done != nullptr) *encode_done = t_enc;
 
-  // Materialize chunks (real payloads) or phantom shards.
-  std::vector<Bytes> chunk_bytes;
-  std::vector<Bytes> parity_bytes;
-  if (!obj.phantom) {
-    Bytes padded = obj.data;
-    padded.resize(chunk_size * k, 0);
-    chunk_bytes.reserve(k);
-    for (std::size_t i = 0; i < k; ++i) {
-      chunk_bytes.emplace_back(
-          padded.begin() + static_cast<std::ptrdiff_t>(i * chunk_size),
-          padded.begin() +
-              static_cast<std::ptrdiff_t>((i + 1) * chunk_size));
-    }
-    parity_bytes.assign(m, Bytes(chunk_size, 0));
-    const auto& rs = service.codec(static_cast<std::uint32_t>(k),
-                                   static_cast<std::uint32_t>(m));
-    std::vector<ByteSpan> data_spans;
-    std::vector<MutableByteSpan> parity_spans;
-    for (auto& c : chunk_bytes) data_spans.emplace_back(c);
-    for (auto& p : parity_bytes) parity_spans.emplace_back(p);
-    Status est = rs.encode(data_spans, parity_spans);
-    assert(est.ok());
-    (void)est;
+  // Build the stripe payload (real objects): chunk views over the
+  // source buffer plus freshly encoded parity. Callers that prepared
+  // the stripe off-thread (BatchedEncoder) pass it in via `pre`.
+  StripePayload local;
+  const StripePayload* sp = pre;
+  if (!obj.phantom && sp == nullptr) {
+    local = make_stripe_payload(
+        service.codec(static_cast<std::uint32_t>(k),
+                      static_cast<std::uint32_t>(m)),
+        obj, k, m);
+    sp = &local;
   }
+  assert(sp == nullptr || sp->chunk_size == chunk_size);
 
   // Distribute the shards. The encoder keeps its own shard locally;
   // the others are serialized out over its link, pipelined.
@@ -159,8 +207,8 @@ SimTime place_encoded(StagingService& service, const DataObject& obj,
     if (obj.phantom) {
       shard = DataObject::make_phantom(shard_desc, chunk_size);
     } else {
-      Bytes bytes = i < k ? chunk_bytes[i] : parity_bytes[i - k];
-      shard = DataObject::real(shard_desc, std::move(bytes));
+      // Refcount bump on the stripe's shard view, no byte copy.
+      shard = sp->shards[i];
       // Record the CRC of what *should* land; the torn-write and
       // bit-flip failpoints below corrupt the stored copy after this,
       // which is exactly the mismatch read-side verification catches.
@@ -176,7 +224,10 @@ SimTime place_encoded(StagingService& service, const DataObject& obj,
           std::size_t keep =
               fp.arg != 0 ? std::min<std::size_t>(fp.arg, shard.data.size())
                           : shard.data.size() / 2;
-          shard.data.resize(keep);
+          // A truncated prefix view: the stored bytes no longer match
+          // the recorded CRC. logical_size (and byte accounting) keeps
+          // the full chunk, as with an in-place truncation.
+          shard.data = shard.data.prefix(keep);
         }
       }
       Status sst = service.store_at(target, std::move(shard),
@@ -395,8 +446,9 @@ SimTime rebuild_on(StagingService& service, const ObjectDescriptor& desc,
       phantom = true;
       break;
     }
-    blocks[i] = stored->object.data;
-    blocks[i].resize(loc->chunk_size, 0);
+    const PayloadBuffer& src = stored->object.data;
+    std::memcpy(blocks[i].data(), src.data(),
+                std::min<std::size_t>(src.size(), loc->chunk_size));
   }
   if (!phantom) {
     const auto& rs = service.codec(loc->k, loc->m);
@@ -410,7 +462,7 @@ SimTime rebuild_on(StagingService& service, const ObjectDescriptor& desc,
     auto shard_desc = desc.shard_of(static_cast<ShardIndex>(1 + i));
     DataObject shard =
         phantom ? DataObject::make_phantom(shard_desc, loc->chunk_size)
-                : DataObject::real(shard_desc, blocks[i]);
+                : DataObject::real(shard_desc, std::move(blocks[i]));
     Status st = service.store_at(target, std::move(shard),
                                  i < k ? StoredKind::kDataChunk
                                        : StoredKind::kParity);

@@ -5,13 +5,36 @@
 #pragma once
 
 #include <cstddef>
+#include <vector>
 
 #include "common/types.hpp"
+#include "erasure/codec.hpp"
 #include "staging/object.hpp"
 #include "staging/request.hpp"
 #include "staging/service.hpp"
 
 namespace corec::resilience {
+
+/// Materialized shard payloads for one stripe: k data shards followed
+/// by m parity shards. Data shards are zero-copy views into the source
+/// object's buffer (only a padded trailing chunk gets its own
+/// allocation); parity shards are views into one shared allocation the
+/// fused encode_view kernels wrote into. Empty for phantom objects.
+struct StripePayload {
+  std::vector<staging::DataObject> shards;  // complete shard objects, CRC-stamped
+  std::size_t chunk_size = 0;
+};
+
+/// Builds the stripe for a real `obj`: slices k chunk views from
+/// obj.data with zero concatenation, encodes m parity chunks through
+/// `codec.encode_view`, and stamps every shard's CRC32C (cached in its
+/// buffer view, so downstream placement never recomputes). Safe to run
+/// off the simulation thread — it touches only `obj` and `codec` — which
+/// is how the batched encoder overlaps stripe preparation across a
+/// thread pool.
+StripePayload make_stripe_payload(const erasure::Codec& codec,
+                                  const staging::DataObject& obj,
+                                  std::size_t k, std::size_t m);
 
 /// Stores the primary copy of `obj` on `primary` and `n_replicas`
 /// copies on the other members of its replication group (window size
@@ -28,11 +51,16 @@ SimTime place_replicated(staging::StagingService& service,
 /// parity in the trailing slots). `encoder` is the server charged with
 /// the encode CPU time (the conflict-avoiding workflow may pick a
 /// helper); it must already hold the payload. Updates the directory.
+/// `pre` may carry an already-built StripePayload for `obj` (from
+/// make_stripe_payload) to skip the inline chunk/encode work — the
+/// batched encoder prepares stripes on a thread pool and hands them in
+/// here.
 SimTime place_encoded(staging::StagingService& service,
                       const staging::DataObject& obj, ServerId primary,
                       std::size_t k, std::size_t m, ServerId encoder,
                       SimTime start, staging::Breakdown* bd,
-                      SimTime* encode_done = nullptr);
+                      SimTime* encode_done = nullptr,
+                      const StripePayload* pre = nullptr);
 
 /// Removes every stored representation of `desc` (primary, replicas or
 /// chunks, per its directory record) and unregisters it.

@@ -54,9 +54,13 @@ struct DescriptorHash {
 /// A staged payload. Real payloads carry bytes; *phantom* payloads carry
 /// only a size, letting the discrete-event substrate run paper-scale
 /// volumes (hundreds of GB) without allocating them.
+///
+/// `data` is a refcounted view: copying a DataObject (replica placement,
+/// store reads) shares the backing allocation, and mutation paths
+/// (corruption injection) detach via copy-on-write.
 struct DataObject {
   ObjectDescriptor desc;
-  Bytes data;                     // empty when phantom
+  PayloadBuffer data;             // empty when phantom
   std::size_t logical_size = 0;   // always the true payload size
   std::uint32_t checksum = 0;     // CRC32C of `data` at creation; 0 if phantom
   bool phantom = false;
@@ -64,11 +68,34 @@ struct DataObject {
   /// Real-payload constructor; stamps the payload's CRC32C so every
   /// downstream copy carries its integrity tag.
   static DataObject real(ObjectDescriptor d, Bytes bytes) {
+    return real(d, PayloadBuffer::wrap(std::move(bytes)));
+  }
+
+  /// Real payload from an existing (possibly shared) buffer. The CRC is
+  /// computed through the buffer's generation-checked cache, so stamping
+  /// a shard view whose tag was already computed costs nothing.
+  static DataObject real(ObjectDescriptor d, PayloadBuffer buffer) {
     DataObject o;
     o.desc = d;
-    o.logical_size = bytes.size();
-    o.checksum = crc32c(bytes.data(), bytes.size());
-    o.data = std::move(bytes);
+    o.logical_size = buffer.size();
+    o.checksum = buffer.crc32c();
+    o.data = std::move(buffer);
+    return o;
+  }
+
+  /// Real payload with a CRC the caller already knows (e.g. the
+  /// directory-recorded tag during materialization). Skips the fresh
+  /// CRC pass; the buffer cache stays unseeded so quarantine probes
+  /// still genuinely verify the bytes. A zero tag on a non-empty
+  /// payload falls back to computing one.
+  static DataObject with_checksum(ObjectDescriptor d, PayloadBuffer buffer,
+                                  std::uint32_t crc) {
+    if (crc == 0) return real(d, std::move(buffer));
+    DataObject o;
+    o.desc = d;
+    o.logical_size = buffer.size();
+    o.checksum = crc;
+    o.data = std::move(buffer);
     return o;
   }
 

@@ -45,7 +45,11 @@ bool ObjectStore::flip_byte(const ObjectDescriptor& desc,
   if (it == entries_.end()) return false;
   DataObject& object = it->second.object;
   if (object.phantom || object.data.empty()) return false;
-  object.data[offset % object.data.size()] ^= 0x40;
+  // mutable_span() detaches to a private copy when the payload is
+  // shared with sibling replicas, so injected corruption stays local
+  // to this holder; the generation bump invalidates any cached CRC.
+  MutableByteSpan bytes = object.data.mutable_span();
+  bytes[offset % bytes.size()] ^= 0x40;
   return true;
 }
 

@@ -56,8 +56,11 @@ class ObjectStore {
 
   /// Fault injection: XORs one bit into the stored bytes of `desc` at
   /// `offset % size`, simulating silent in-memory corruption. Byte
-  /// accounting is untouched. Returns false for absent/phantom/empty
-  /// entries (nothing to corrupt).
+  /// accounting is untouched. Copy-on-write: if the payload shares its
+  /// backing store with sibling replicas, this entry detaches to a
+  /// private copy first, so corruption never aliases across holders.
+  /// Returns false for absent/phantom/empty entries (nothing to
+  /// corrupt) — deterministically a no-op, never a crash.
   bool flip_byte(const ObjectDescriptor& desc, std::size_t offset);
 
   /// Drops everything (server failure). Byte accounting resets.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstring>
 
 #include "common/checksum.hpp"
 #include "common/failpoint.hpp"
@@ -84,8 +85,11 @@ ShardHealth StagingService::probe_stored(ServerId s,
   if (stored->object.phantom) return ShardHealth::kOk;
   if (expected == 0) return ShardHealth::kOk;  // no checksum recorded
   ++integrity_.checks;
-  if (crc32c(stored->object.data.data(), stored->object.data.size()) ==
-      expected) {
+  // The buffer's generation-checked cache makes repeat probes of an
+  // unmutated payload free; any mutation (fault injection, torn write)
+  // bumps the generation and forces a genuine recompute, so corruption
+  // is still caught.
+  if (stored->object.data.crc32c() == expected) {
     return ShardHealth::kOk;
   }
   ++integrity_.mismatches;
@@ -243,10 +247,12 @@ OpResult StagingService::get(VarId var, Version version,
   std::size_t assembled_bytes = 0;
   // Fetch all pieces (virtually in parallel), then assemble oldest
   // version first so that where coverage overlaps, the newest write
-  // lands last and wins.
-  std::vector<Bytes> pieces(out != nullptr ? descs.size() : 0);
+  // lands last and wins. Pieces are shared buffer views — a replicated
+  // read costs a refcount bump, not a payload copy; the only real copy
+  // is the hyperslab assembly into the caller's buffer below.
+  std::vector<PayloadBuffer> pieces(out != nullptr ? descs.size() : 0);
   for (std::size_t i = 0; i < descs.size(); ++i) {
-    Bytes* piece_out = out != nullptr ? &pieces[i] : nullptr;
+    PayloadBuffer* piece_out = out != nullptr ? &pieces[i] : nullptr;
     auto done =
         read_piece(descs[i], box, start, piece_out, &result.breakdown);
     if (!done.ok()) {
@@ -263,8 +269,8 @@ OpResult StagingService::get(VarId var, Version version,
     assembled_bytes +=
         static_cast<std::size_t>(overlap.volume()) * elem;
     if (out != nullptr && !pieces[ri].empty()) {
-      Status st = copy_region(pieces[ri], desc.box, MutableByteSpan(*out),
-                              box, overlap, elem);
+      Status st = copy_region(pieces[ri].span(), desc.box,
+                              MutableByteSpan(*out), box, overlap, elem);
       if (!st.ok()) {
         result.status = st;
         result.completed = completion;
@@ -284,7 +290,7 @@ OpResult StagingService::get(VarId var, Version version,
 StatusOr<SimTime> StagingService::read_piece(const ObjectDescriptor& desc,
                                              const geom::BoundingBox& requested,
                                              SimTime start,
-                                             Bytes* piece_out,
+                                             PayloadBuffer* piece_out,
                                              Breakdown* bd) {
   scheme_->on_access(desc, start);
   const ObjectLocation* loc = meta_->find(desc);
@@ -348,8 +354,9 @@ StatusOr<SimTime> StagingService::read_piece(const ObjectDescriptor& desc,
     bd->transport += options_.cost.link_latency + xfer;
     if (piece_out != nullptr) {
       if (stored->object.phantom) {
-        piece_out->clear();
+        *piece_out = PayloadBuffer();
       } else {
+        // Shared view of the holder's payload — no byte copy.
         *piece_out = stored->object.data;
       }
     }
@@ -374,10 +381,13 @@ StatusOr<SimTime> StagingService::read_piece(const ObjectDescriptor& desc,
     return read_degraded(desc, *loc, fraction, start, piece_out, bd);
   }
 
+  // Scatter/gather: one exact logical_size allocation, each chunk view
+  // copied straight into its final position (no oversized k*chunk
+  // scratch buffer, no trailing resize).
   SimTime done = start;
   Bytes assembled;
   if (piece_out != nullptr) {
-    assembled.resize(static_cast<std::size_t>(loc->chunk_size) * k);
+    assembled.resize(loc->logical_size);
   }
   bool phantom = false;
   for (std::uint32_t i = 0; i < k; ++i) {
@@ -395,18 +405,24 @@ StatusOr<SimTime> StagingService::read_piece(const ObjectDescriptor& desc,
       if (stored->object.phantom) {
         phantom = true;
       } else {
-        std::copy(stored->object.data.begin(), stored->object.data.end(),
-                  assembled.begin() + static_cast<std::ptrdiff_t>(
-                                          i * loc->chunk_size));
+        const std::size_t begin =
+            static_cast<std::size_t>(i) * loc->chunk_size;
+        if (begin < assembled.size()) {
+          const std::size_t want = std::min<std::size_t>(
+              assembled.size() - begin, stored->object.data.size());
+          std::memcpy(assembled.data() + begin, stored->object.data.data(),
+                      want);
+        }
       }
     }
   }
   if (piece_out != nullptr) {
     if (phantom) {
-      piece_out->clear();
+      *piece_out = PayloadBuffer();
     } else {
-      assembled.resize(loc->logical_size);
-      *piece_out = std::move(assembled);
+      payload_metrics().bytes_copied.fetch_add(assembled.size(),
+                                               std::memory_order_relaxed);
+      *piece_out = PayloadBuffer::wrap(std::move(assembled));
     }
   }
   return done;
@@ -414,7 +430,8 @@ StatusOr<SimTime> StagingService::read_piece(const ObjectDescriptor& desc,
 
 StatusOr<SimTime> StagingService::read_degraded(
     const ObjectDescriptor& desc, const ObjectLocation& loc,
-    double fraction, SimTime start, Bytes* piece_out, Breakdown* bd) {
+    double fraction, SimTime start, PayloadBuffer* piece_out,
+    Breakdown* bd) {
   const std::uint32_t k = loc.k;
   const std::uint32_t n = loc.k + loc.m;
   auto scaled = [fraction](std::size_t bytes) {
@@ -499,24 +516,30 @@ StatusOr<SimTime> StagingService::read_degraded(
         phantom = true;
         break;
       }
-      blocks[i] = stored->object.data;
-      blocks[i].resize(loc.chunk_size, 0);
+      std::memcpy(blocks[i].data(), stored->object.data.data(),
+                  std::min<std::size_t>(stored->object.data.size(),
+                                        loc.chunk_size));
     }
     if (phantom) {
-      piece_out->clear();
+      *piece_out = PayloadBuffer();
     } else {
       const auto& rs = codec(loc.k, loc.m);
       std::vector<MutableByteSpan> spans;
       spans.reserve(n);
       for (auto& b : blocks) spans.emplace_back(b);
       COREC_RETURN_IF_ERROR(rs.decode(spans, erased));
-      Bytes assembled;
-      assembled.reserve(static_cast<std::size_t>(loc.chunk_size) * k);
+      // Gather the k data blocks straight into one exact-size buffer.
+      Bytes assembled(loc.logical_size, 0);
       for (std::uint32_t i = 0; i < k; ++i) {
-        assembled.insert(assembled.end(), blocks[i].begin(),
-                         blocks[i].end());
+        const std::size_t begin =
+            static_cast<std::size_t>(i) * loc.chunk_size;
+        if (begin >= assembled.size()) break;
+        const std::size_t want = std::min<std::size_t>(
+            assembled.size() - begin, blocks[i].size());
+        std::memcpy(assembled.data() + begin, blocks[i].data(), want);
       }
-      assembled.resize(loc.logical_size);
+      payload_metrics().bytes_copied.fetch_add(assembled.size(),
+                                               std::memory_order_relaxed);
       // End-to-end check of the decode output: per-shard checksums
       // guard the inputs, this guards the reconstruction itself (and
       // any metadata/geometry inconsistency between them).
@@ -529,7 +552,7 @@ StatusOr<SimTime> StagingService::read_degraded(
                                   desc.to_string());
         }
       }
-      *piece_out = std::move(assembled);
+      *piece_out = PayloadBuffer::wrap(std::move(assembled));
     }
   }
 

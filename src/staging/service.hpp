@@ -197,17 +197,20 @@ class StagingService {
   // One fitted piece read. Only the part of the piece inside
   // `requested` is shipped (and, in degraded mode, reconstructed);
   // `fraction` of the piece's bytes is charged. Returns completion
-  // time; assembles the piece's real bytes into `out` when non-null.
+  // time; hands the piece's real bytes out through `piece_out` when
+  // non-null — a replicated read is a refcount bump on the holder's
+  // buffer, an encoded read gathers the chunk views into one exact
+  // allocation.
   StatusOr<SimTime> read_piece(const ObjectDescriptor& desc,
                                const geom::BoundingBox& requested,
-                               SimTime start, Bytes* piece_out,
+                               SimTime start, PayloadBuffer* piece_out,
                                Breakdown* bd);
 
   // Degraded read of an encoded object with missing chunks.
   StatusOr<SimTime> read_degraded(const ObjectDescriptor& desc,
                                   const ObjectLocation& loc,
                                   double fraction, SimTime start,
-                                  Bytes* piece_out, Breakdown* bd);
+                                  PayloadBuffer* piece_out, Breakdown* bd);
 
   // Common body of put / put_phantom.
   OpResult put_impl(VarId var, Version version,

@@ -26,6 +26,13 @@ StatusOr<ObjectDescriptor> decode_descriptor(BufferReader* r);
 void encode_location(const ObjectLocation& loc, BufferWriter* w);
 StatusOr<ObjectLocation> decode_location(BufferReader* r);
 
+/// Exact encoded sizes of the records above. Encoders that batch many
+/// records (snapshots, op-log shipping) reserve the full output once
+/// instead of growing the buffer per field.
+std::size_t encoded_box_size(const geom::BoundingBox& box);
+std::size_t encoded_descriptor_size(const ObjectDescriptor& desc);
+std::size_t encoded_location_size(const ObjectLocation& loc);
+
 /// Strict weak order over descriptors (var, version, shard, box). Used
 /// to canonicalize snapshots so equal directory contents always produce
 /// identical bytes, whatever the mutation history.

@@ -42,6 +42,8 @@ std::unique_ptr<staging::ResilienceScheme> make_scheme(
       opts.classifier = p.classifier;
       opts.workflow = p.workflow;
       opts.recovery = p.recovery;
+      opts.batch_transitions = p.batch_transitions;
+      opts.batch = p.batch;
       if (mechanism == Mechanism::kCorecAggressive) {
         opts.recovery.mode = core::RecoveryOptions::Mode::kAggressive;
       }

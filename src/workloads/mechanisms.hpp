@@ -34,6 +34,10 @@ struct MechanismParams {
   core::ClassifierOptions classifier;
   core::WorkflowOptions workflow;
   core::RecoveryOptions recovery;
+  /// CoREC variants only: drain cold transitions through the batched
+  /// pipelined encoder instead of one token round-trip per object.
+  bool batch_transitions = false;
+  core::BatchOptions batch;
 };
 
 /// Instantiates the scheme for a mechanism.

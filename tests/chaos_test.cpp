@@ -57,6 +57,18 @@ std::vector<std::uint64_t> chaos_seeds() {
   return {1, 2, 3, 5, 8, 13, 21, 34, 55, 89};
 }
 
+/// CoREC parameters for the storms below. COREC_CHAOS_BATCH=1 routes
+/// cold transitions through the batched pipelined encoder so the CI
+/// chaos leg exercises both drain paths with the same seeds.
+MechanismParams corec_chaos_params() {
+  MechanismParams params;
+  if (const char* env = std::getenv("COREC_CHAOS_BATCH");
+      env != nullptr && *env != '\0' && *env != '0') {
+    params.batch_transitions = true;
+  }
+  return params;
+}
+
 /// For every encoded entity carrying real payloads, decode the stripe
 /// from its surviving shards and compare the reconstructed bytes
 /// against the driver's per-variable mirror. The shard-*size* audit
@@ -90,7 +102,7 @@ void audit_encoded_mirror(staging::StagingService& service,
         phantom = true;
         break;
       }
-      blocks[i] = stored->object.data;
+      blocks[i] = stored->object.data.to_bytes();
       blocks[i].resize(loc.chunk_size, 0);
     }
     if (phantom) return;
@@ -171,7 +183,7 @@ class ChaosSeedTest : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(ChaosSeedTest, CorecSurvivesSpacedFailures) {
   std::uint64_t seed = GetParam();
-  MechanismParams params;
+  MechanismParams params = corec_chaos_params();
   params.recovery.mtbf_seconds = 0.08;  // lazy deadline 20 ms
 
   sim::Simulation sim;
@@ -269,7 +281,7 @@ TEST_P(ChaosSeedTest, ReplicatedMetadataSurvivesMixedFailures) {
   // that alternates whole-node kills (hitting metadata replica hosts on
   // purpose) with pure metadata-process kills of the current primary.
   std::uint64_t seed = GetParam();
-  MechanismParams params;
+  MechanismParams params = corec_chaos_params();
   params.recovery.mtbf_seconds = 0.08;
 
   sim::Simulation sim;
@@ -330,7 +342,7 @@ TEST_P(ChaosSeedTest, ReplicatedMetadataSurvivesMixedFailures) {
 TEST(Chaos, MtbfDrivenStormNeverCorrupts) {
   // Full random storm through the FailureInjector, phantom payloads
   // for speed plus a real-payload spot check.
-  MechanismParams params;
+  MechanismParams params = corec_chaos_params();
   params.recovery.mtbf_seconds = 0.1;
   sim::Simulation sim;
   staging::StagingService service(chaos_service_options(), &sim,

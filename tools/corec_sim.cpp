@@ -45,6 +45,7 @@ struct CliOptions {
   bool csv = false;
   bool verify = false;
   bool calibrate = false;
+  bool batch_encode = false;
   // Replicated metadata plane: follower count K (0 = plain local
   // directory), plus optional primary-kill steps.
   std::size_t meta_followers = 0;
@@ -87,6 +88,8 @@ void usage() {
       "                      (also read from $COREC_FAILPOINTS)\n"
       "  --scrub S           background integrity scrubber paced for an\n"
       "                      MTBF of S seconds (0 = off, default)\n"
+      "  --batch-encode      drain CoREC cold transitions through the\n"
+      "                      batched pipelined encoder (corec variants)\n"
       "  --seed N            RNG seed\n"
       "  --verify            real payloads + byte verification\n"
       "  --calibrate         measure this machine's GF kernel encode\n"
@@ -157,6 +160,8 @@ bool parse_args(int argc, char** argv, CliOptions* cli) {
       cli->failpoints = next();
     } else if (a == "--scrub") {
       cli->scrub_mtbf = std::atof(next());
+    } else if (a == "--batch-encode") {
+      cli->batch_encode = true;
     } else if (a == "--meta") {
       cli->meta_followers = static_cast<std::size_t>(std::atol(next()));
     } else if (a == "--meta-kill") {
@@ -255,6 +260,7 @@ int main(int argc, char** argv) {
   params.m = cli.m;
   params.n_level = cli.n_level;
   params.storage_floor = cli.floor;
+  params.batch_transitions = cli.batch_encode;
   Mechanism mechanism = parse_mechanism(cli.mechanism);
 
   // --- run ---------------------------------------------------------------

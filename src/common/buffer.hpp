@@ -66,8 +66,9 @@ PayloadMetrics& payload_metrics();
 /// views may be copied/read concurrently (ParallelCoder workers read
 /// shared views). Mutating a view, or calling crc32c() on the *same*
 /// view from two threads, requires external synchronization — the
-/// simulator is single-threaded and ConcurrentStore holds its lock
-/// across mutations, which satisfies this.
+/// simulator is single-threaded, and the concurrent stores
+/// (ConcurrentStore, ShardedObjectStore) hold their (per-shard)
+/// writer lock across mutations, which satisfies this.
 class PayloadBuffer {
  public:
   PayloadBuffer() = default;

@@ -1,0 +1,72 @@
+#include "common/sharding.hpp"
+
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+
+namespace corec {
+
+namespace {
+
+std::size_t clamp_pow2(std::size_t v, std::size_t lo, std::size_t hi) {
+  std::size_t p = next_pow2(v);
+  if (p < lo) return lo;
+  if (p > hi) return hi;
+  return p;
+}
+
+// Registry of live sharded structures. Registration/deregistration and
+// snapshotting are rare (construction, destruction, metrics reads), so
+// a plain mutex-guarded map is plenty.
+struct Registry {
+  std::mutex mutex;
+  std::uint64_t next_id = 1;
+  std::unordered_map<std::uint64_t,
+                     std::function<ShardMetricsSnapshot()>>
+      sources;
+};
+
+Registry& registry() {
+  static Registry* r = new Registry();  // leaked: outlives all statics
+  return *r;
+}
+
+}  // namespace
+
+std::size_t default_shard_count() {
+  static const std::size_t count = [] {
+    std::size_t hw = std::thread::hardware_concurrency();
+    if (hw == 0) hw = 8;
+    return clamp_pow2(hw, 1, 64);
+  }();
+  return count;
+}
+
+std::size_t resolve_shard_count(std::size_t requested) {
+  if (requested == 0) return default_shard_count();
+  return clamp_pow2(requested, 1, 256);
+}
+
+ScopedShardMetricsRegistration::ScopedShardMetricsRegistration(
+    std::function<ShardMetricsSnapshot()> fn) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  id_ = r.next_id++;
+  r.sources.emplace(id_, std::move(fn));
+}
+
+ScopedShardMetricsRegistration::~ScopedShardMetricsRegistration() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  r.sources.erase(id_);
+}
+
+ShardMetricsSnapshot shard_metrics() {
+  Registry& r = registry();
+  ShardMetricsSnapshot total;
+  std::lock_guard<std::mutex> lock(r.mutex);
+  for (const auto& [id, fn] : r.sources) total.merge(fn());
+  return total;
+}
+
+}  // namespace corec

@@ -1,0 +1,166 @@
+// Lock-striping building blocks for the concurrent data plane: shard
+// count selection, cache-line-padded striped counters, an instrumented
+// shared mutex that counts contended acquisitions, and a process-wide
+// registry that aggregates shard metrics across every live sharded
+// structure (surfaced alongside payload_metrics()).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <shared_mutex>
+
+namespace corec {
+
+/// Smallest power of two >= v (v = 0 maps to 1).
+constexpr std::size_t next_pow2(std::size_t v) {
+  std::size_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+/// Default shard count for lock-striped structures: the smallest power
+/// of two >= hardware_concurrency, clamped to [1, 64]. Power-of-two so
+/// shard selection is a mask, not a modulo.
+std::size_t default_shard_count();
+
+/// Resolves a caller-requested shard count: 0 means "auto"
+/// (default_shard_count()); anything else is rounded up to a power of
+/// two and clamped to [1, 256].
+std::size_t resolve_shard_count(std::size_t requested);
+
+/// Per-stripe cache-line-padded atomic counters. Writers touch one
+/// stripe each (no cross-core line bouncing); readers sum all stripes
+/// with relaxed loads, so reading never takes a lock and is exact
+/// whenever the structure is quiescent.
+class StripedCounter {
+ public:
+  /// Stripe count is rounded up to a power of two so stripe selection
+  /// is a mask, never a divide, on the write hot path.
+  explicit StripedCounter(std::size_t stripes)
+      : stripes_(next_pow2(stripes == 0 ? 1 : stripes)),
+        cells_(std::make_unique<Cell[]>(stripes_)) {}
+
+  /// No-op deltas return without touching the cache line: overwrite
+  /// puts that replace same-size payloads dominate steady-state staging
+  /// traffic and must not pay an atomic RMW for a zero.
+  void add(std::size_t stripe, std::int64_t delta) {
+    if (delta == 0) return;
+    cells_[stripe & (stripes_ - 1)].v.fetch_add(delta,
+                                                std::memory_order_relaxed);
+  }
+
+  std::int64_t value() const {
+    std::int64_t sum = 0;
+    for (std::size_t i = 0; i < stripes_; ++i) {
+      sum += cells_[i].v.load(std::memory_order_relaxed);
+    }
+    return sum;
+  }
+
+  void reset() {
+    for (std::size_t i = 0; i < stripes_; ++i) {
+      cells_[i].v.store(0, std::memory_order_relaxed);
+    }
+  }
+
+  std::size_t stripes() const { return stripes_; }
+
+ private:
+  struct alignas(64) Cell {
+    std::atomic<std::int64_t> v{0};
+  };
+  std::size_t stripes_;
+  std::unique_ptr<Cell[]> cells_;
+};
+
+/// std::shared_mutex with relaxed-atomic acquisition counters: total
+/// acquisitions (shared + exclusive) and how many of them had to block
+/// because a try_lock failed first. The try-then-block pattern costs
+/// one extra CAS on the uncontended path and makes contention directly
+/// observable without a profiler.
+class InstrumentedSharedMutex {
+ public:
+  void lock() {
+    if (!mutex_.try_lock()) {
+      contended_.fetch_add(1, std::memory_order_relaxed);
+      mutex_.lock();
+    }
+    acquisitions_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void unlock() { mutex_.unlock(); }
+
+  void lock_shared() {
+    if (!mutex_.try_lock_shared()) {
+      contended_.fetch_add(1, std::memory_order_relaxed);
+      mutex_.lock_shared();
+    }
+    acquisitions_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void unlock_shared() { mutex_.unlock_shared(); }
+
+  std::uint64_t acquisitions() const {
+    return acquisitions_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t contended() const {
+    return contended_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::shared_mutex mutex_;
+  std::atomic<std::uint64_t> acquisitions_{0};
+  std::atomic<std::uint64_t> contended_{0};
+};
+
+/// Point-in-time aggregate of lock-striping health. `merge` sums the
+/// additive fields and keeps the max occupancy high-water mark.
+struct ShardMetricsSnapshot {
+  std::uint64_t shards = 0;                 // stripes across structures
+  std::uint64_t lock_acquisitions = 0;      // shared + exclusive
+  std::uint64_t contended_acquisitions = 0; // had to block
+  std::uint64_t max_shard_occupancy = 0;    // entries in fullest shard
+
+  void merge(const ShardMetricsSnapshot& o) {
+    shards += o.shards;
+    lock_acquisitions += o.lock_acquisitions;
+    contended_acquisitions += o.contended_acquisitions;
+    if (o.max_shard_occupancy > max_shard_occupancy) {
+      max_shard_occupancy = o.max_shard_occupancy;
+    }
+  }
+
+  /// Fraction of acquisitions that blocked (0 when idle).
+  double contention_rate() const {
+    return lock_acquisitions == 0
+               ? 0.0
+               : static_cast<double>(contended_acquisitions) /
+                     static_cast<double>(lock_acquisitions);
+  }
+};
+
+/// RAII registration of one sharded structure with the process-wide
+/// metrics registry. Declare it as the LAST member of the owning class
+/// so it unregisters (and quiesces concurrent shard_metrics() readers)
+/// before the shards it reports on are destroyed.
+class ScopedShardMetricsRegistration {
+ public:
+  explicit ScopedShardMetricsRegistration(
+      std::function<ShardMetricsSnapshot()> fn);
+  ~ScopedShardMetricsRegistration();
+
+  ScopedShardMetricsRegistration(const ScopedShardMetricsRegistration&) =
+      delete;
+  ScopedShardMetricsRegistration& operator=(
+      const ScopedShardMetricsRegistration&) = delete;
+
+ private:
+  std::uint64_t id_;
+};
+
+/// Aggregate shard metrics over every live sharded structure in the
+/// process — the lock-contention companion to payload_metrics().
+ShardMetricsSnapshot shard_metrics();
+
+}  // namespace corec

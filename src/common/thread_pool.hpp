@@ -1,5 +1,6 @@
-// Fixed-size worker pool. Used by the ThreadFabric (one dispatcher per
-// staging server) and by parallel encode sweeps in benches.
+// Fixed-size worker pool. Backs the ThreadFabric's async dispatch
+// (src/staging/thread_fabric.hpp), the parallel erasure coder, and
+// parallel encode sweeps in benches.
 #pragma once
 
 #include <condition_variable>
@@ -27,6 +28,13 @@ class ThreadPool {
 
   /// Blocks until the queue is empty and all workers are idle.
   void wait_idle();
+
+  /// Runs fn(i) for every i in [0, n), fanned out across the pool in
+  /// contiguous chunks; blocks until all indices completed. Unlike
+  /// wait_idle() it only waits for its own work, so concurrent
+  /// parallel_for calls (and unrelated submits) don't serialize.
+  void parallel_for(std::size_t n,
+                    const std::function<void(std::size_t)>& fn);
 
   std::size_t size() const { return workers_.size(); }
 

@@ -1,10 +1,13 @@
-// Thread-safe facade over ObjectStore + Directory for real-thread
-// deployments of the staging server (as opposed to the virtual-time
-// simulation, which is single-threaded by construction). Multiple
-// client threads may put/get/erase concurrently; a shared mutex allows
-// concurrent readers.
+// Legacy single-lock facades over ObjectStore + Directory. One global
+// shared_mutex serializes all writers and stalls readers behind them —
+// kept as the monolithic baseline the concurrency benches compare
+// against, and for callers that want the simplest possible wrapper.
+// New real-thread code should use the lock-striped ShardedObjectStore /
+// ShardedDirectory (staging/sharded_store.hpp) or the ThreadFabric
+// dispatcher (staging/thread_fabric.hpp), which scale with cores.
 #pragma once
 
+#include <mutex>
 #include <shared_mutex>
 
 #include "staging/directory.hpp"
@@ -12,7 +15,7 @@
 
 namespace corec::staging {
 
-/// Mutex-guarded object store for concurrent access.
+/// Mutex-guarded object store for concurrent access (single lock).
 class ConcurrentStore {
  public:
   explicit ConcurrentStore(std::size_t capacity_bytes = 0)
@@ -23,14 +26,17 @@ class ConcurrentStore {
     return store_.put(std::move(object), kind);
   }
 
-  /// Copies the object out (no reference escapes the lock).
-  StatusOr<DataObject> get(const ObjectDescriptor& desc) const {
+  /// Zero-copy read: the returned entry's payload is a refcounted
+  /// PayloadBuffer view of the stored bytes, not a copy. The view is
+  /// safe after the lock drops because every mutation path (flip_byte,
+  /// overwriting put) detaches via copy-on-write first.
+  StatusOr<StoredObject> get(const ObjectDescriptor& desc) const {
     std::shared_lock lock(mutex_);
     const StoredObject* found = store_.find(desc);
     if (found == nullptr) {
       return Status::NotFound("object not stored: " + desc.to_string());
     }
-    return found->object;
+    return *found;
   }
 
   bool erase(const ObjectDescriptor& desc) {

@@ -37,7 +37,10 @@ struct StoredObject {
 };
 
 /// Hash-keyed local store with per-kind byte accounting. Not
-/// thread-safe; the ThreadFabric wraps access with the server's lock.
+/// thread-safe on its own: the virtual-time simulator drives it from a
+/// single thread, and real-thread deployments compose per-shard
+/// instances behind the lock stripes of ShardedObjectStore, which the
+/// ThreadFabric dispatcher drives from many client threads.
 class ObjectStore {
  public:
   /// `capacity_bytes` of 0 means unlimited.

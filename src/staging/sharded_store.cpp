@@ -1,0 +1,319 @@
+#include "staging/sharded_store.hpp"
+
+#include <algorithm>
+#include <mutex>
+#include <shared_mutex>
+
+namespace corec::staging {
+
+namespace {
+
+// Relaxed high-water-mark update (metrics only; no ordering needed).
+void bump_max(std::atomic<std::uint64_t>* max, std::uint64_t observed) {
+  std::uint64_t cur = max->load(std::memory_order_relaxed);
+  while (observed > cur &&
+         !max->compare_exchange_weak(cur, observed,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+// Deterministic descriptor order for merged query results: newest
+// version first, then a total order over the identifying fields so the
+// merged output is independent of shard interleaving.
+bool newest_first(const ObjectDescriptor& a, const ObjectDescriptor& b) {
+  if (a.version != b.version) return a.version > b.version;
+  if (a.var != b.var) return a.var < b.var;
+  if (a.shard != b.shard) return a.shard < b.shard;
+  const std::size_t dims = std::min(a.box.dims(), b.box.dims());
+  for (std::size_t d = 0; d < dims; ++d) {
+    if (a.box.lo()[d] != b.box.lo()[d]) return a.box.lo()[d] < b.box.lo()[d];
+    if (a.box.hi()[d] != b.box.hi()[d]) return a.box.hi()[d] < b.box.hi()[d];
+  }
+  return a.box.dims() < b.box.dims();
+}
+
+}  // namespace
+
+// ---- ShardedObjectStore ----------------------------------------------------
+
+ShardedObjectStore::ShardedObjectStore(std::size_t capacity_bytes,
+                                       std::size_t shards)
+    : capacity_(capacity_bytes),
+      mask_(resolve_shard_count(shards) - 1),
+      shards_(std::make_unique<Shard[]>(resolve_shard_count(shards))),
+      num_shards_(resolve_shard_count(shards)),
+      count_(num_shards_),
+      bytes_(num_shards_),
+      kind_bytes_{StripedCounter(num_shards_), StripedCounter(num_shards_),
+                  StripedCounter(num_shards_), StripedCounter(num_shards_)},
+      metrics_registration_([this] { return shard_metrics(); }) {}
+
+Status ShardedObjectStore::put(DataObject object, StoredKind kind) {
+  const std::size_t idx = shard_index(object.desc);
+  Shard& sh = shards_[idx];
+  const std::size_t new_bytes = object.logical_size;
+  std::unique_lock lock(sh.mutex);
+  const StoredObject* existing = sh.store.find(object.desc);
+  const std::size_t replaced =
+      existing == nullptr ? 0 : existing->object.logical_size;
+  if (capacity_ != 0 &&
+      total_bytes() - replaced + new_bytes > capacity_) {
+    return Status::ResourceExhausted("sharded store over capacity");
+  }
+  const StoredKind old_kind = existing == nullptr ? kind : existing->kind;
+  Status st = sh.store.put(std::move(object), kind);
+  if (!st.ok()) return st;
+  const auto delta = static_cast<std::int64_t>(new_bytes) -
+                     static_cast<std::int64_t>(replaced);
+  bytes_.add(idx, delta);
+  if (old_kind == kind) {
+    // Same-kind overwrite (the steady-state path): one rollup update,
+    // zero when the payload size is unchanged.
+    kind_bytes_[static_cast<std::size_t>(kind)].add(idx, delta);
+  } else {
+    kind_bytes_[static_cast<std::size_t>(old_kind)].add(
+        idx, -static_cast<std::int64_t>(replaced));
+    kind_bytes_[static_cast<std::size_t>(kind)].add(
+        idx, static_cast<std::int64_t>(new_bytes));
+  }
+  if (existing == nullptr) {
+    count_.add(idx, 1);
+    // Occupancy only grows on insert, never on overwrite.
+    bump_max(&max_occupancy_, sh.store.count());
+  }
+  return Status::Ok();
+}
+
+StatusOr<StoredObject> ShardedObjectStore::get(
+    const ObjectDescriptor& desc) const {
+  const Shard& sh = shards_[shard_index(desc)];
+  std::shared_lock lock(sh.mutex);
+  const StoredObject* found = sh.store.find(desc);
+  if (found == nullptr) {
+    return Status::NotFound("object not stored: " + desc.to_string());
+  }
+  // Copying the entry bumps the payload refcount — no byte copy. The
+  // view stays valid after the lock drops because mutators detach via
+  // copy-on-write instead of writing through shared backing stores.
+  return *found;
+}
+
+bool ShardedObjectStore::erase(const ObjectDescriptor& desc) {
+  const std::size_t idx = shard_index(desc);
+  Shard& sh = shards_[idx];
+  std::unique_lock lock(sh.mutex);
+  const StoredObject* existing = sh.store.find(desc);
+  if (existing == nullptr) return false;
+  const std::size_t bytes = existing->object.logical_size;
+  const StoredKind kind = existing->kind;
+  sh.store.erase(desc);
+  count_.add(idx, -1);
+  bytes_.add(idx, -static_cast<std::int64_t>(bytes));
+  kind_bytes_[static_cast<std::size_t>(kind)].add(
+      idx, -static_cast<std::int64_t>(bytes));
+  return true;
+}
+
+bool ShardedObjectStore::contains(const ObjectDescriptor& desc) const {
+  const Shard& sh = shards_[shard_index(desc)];
+  std::shared_lock lock(sh.mutex);
+  return sh.store.contains(desc);
+}
+
+bool ShardedObjectStore::flip_byte(const ObjectDescriptor& desc,
+                                   std::size_t offset) {
+  Shard& sh = shards_[shard_index(desc)];
+  std::unique_lock lock(sh.mutex);
+  return sh.store.flip_byte(desc, offset);
+}
+
+void ShardedObjectStore::clear() {
+  for (std::size_t i = 0; i < num_shards_; ++i) {
+    Shard& sh = shards_[i];
+    std::unique_lock lock(sh.mutex);
+    sh.store.clear();
+  }
+  count_.reset();
+  bytes_.reset();
+  for (auto& kb : kind_bytes_) kb.reset();
+}
+
+std::size_t ShardedObjectStore::count() const {
+  return static_cast<std::size_t>(std::max<std::int64_t>(0, count_.value()));
+}
+
+std::size_t ShardedObjectStore::total_bytes() const {
+  return static_cast<std::size_t>(std::max<std::int64_t>(0, bytes_.value()));
+}
+
+std::size_t ShardedObjectStore::bytes_of(StoredKind kind) const {
+  return static_cast<std::size_t>(std::max<std::int64_t>(
+      0, kind_bytes_[static_cast<std::size_t>(kind)].value()));
+}
+
+void ShardedObjectStore::for_each(
+    const std::function<void(const StoredObject&)>& fn) const {
+  for (std::size_t i = 0; i < num_shards_; ++i) {
+    const Shard& sh = shards_[i];
+    std::shared_lock lock(sh.mutex);
+    sh.store.for_each(fn);
+  }
+}
+
+ShardMetricsSnapshot ShardedObjectStore::shard_metrics() const {
+  ShardMetricsSnapshot snap;
+  snap.shards = num_shards_;
+  for (std::size_t i = 0; i < num_shards_; ++i) {
+    snap.lock_acquisitions += shards_[i].mutex.acquisitions();
+    snap.contended_acquisitions += shards_[i].mutex.contended();
+  }
+  snap.max_shard_occupancy =
+      max_occupancy_.load(std::memory_order_relaxed);
+  return snap;
+}
+
+// ---- ShardedDirectory ------------------------------------------------------
+
+ShardedDirectory::ShardedDirectory(std::size_t shards)
+    : mask_(resolve_shard_count(shards) - 1),
+      shards_(std::make_unique<Shard[]>(resolve_shard_count(shards))),
+      num_shards_(resolve_shard_count(shards)),
+      size_(num_shards_),
+      metrics_registration_([this] { return shard_metrics(); }) {}
+
+std::size_t ShardedDirectory::shard_index(
+    VarId var, const geom::BoundingBox& box) const {
+  // Entity key: version and shard index stripped, so every version of
+  // one (var, box) entity lands on the same shard.
+  return DescriptorHash{}(ObjectDescriptor{var, 0, box, kWholeObject}) &
+         mask_;
+}
+
+void ShardedDirectory::upsert(const ObjectDescriptor& desc,
+                              ObjectLocation location) {
+  const std::size_t idx = shard_index(desc.var, desc.box);
+  Shard& sh = shards_[idx];
+  std::unique_lock lock(sh.mutex);
+  const std::size_t before = sh.dir.size();
+  sh.dir.upsert(desc, std::move(location));
+  size_.add(idx, static_cast<std::int64_t>(sh.dir.size()) -
+                     static_cast<std::int64_t>(before));
+  bump_max(&max_occupancy_, sh.dir.size());
+}
+
+bool ShardedDirectory::remove(const ObjectDescriptor& desc) {
+  const std::size_t idx = shard_index(desc.var, desc.box);
+  Shard& sh = shards_[idx];
+  std::unique_lock lock(sh.mutex);
+  if (!sh.dir.remove(desc)) return false;
+  size_.add(idx, -1);
+  return true;
+}
+
+StatusOr<ObjectLocation> ShardedDirectory::find(
+    const ObjectDescriptor& desc) const {
+  const Shard& sh = shards_[shard_index(desc.var, desc.box)];
+  std::shared_lock lock(sh.mutex);
+  const ObjectLocation* loc = sh.dir.find(desc);
+  if (loc == nullptr) {
+    return Status::NotFound("not registered: " + desc.to_string());
+  }
+  return *loc;
+}
+
+std::vector<ObjectDescriptor> ShardedDirectory::query(
+    VarId var, Version version, const geom::BoundingBox& region) const {
+  std::vector<ObjectDescriptor> out;
+  for (std::size_t i = 0; i < num_shards_; ++i) {
+    const Shard& sh = shards_[i];
+    std::shared_lock lock(sh.mutex);
+    auto part = sh.dir.query(var, version, region);
+    out.insert(out.end(), part.begin(), part.end());
+  }
+  std::sort(out.begin(), out.end(), newest_first);
+  return out;
+}
+
+std::vector<ObjectDescriptor> ShardedDirectory::query_latest(
+    VarId var, Version version, const geom::BoundingBox& region) const {
+  // Pass 1: each shard runs the exact shadow test over the entities it
+  // owns. A shard keeps at least everything the monolithic directory
+  // would (its uncovered region only shrinks by same-shard boxes), so
+  // the union is a superset of the monolithic answer.
+  std::vector<ObjectDescriptor> candidates;
+  for (std::size_t i = 0; i < num_shards_; ++i) {
+    const Shard& sh = shards_[i];
+    std::shared_lock lock(sh.mutex);
+    auto part = sh.dir.query_latest(var, version, region);
+    candidates.insert(candidates.end(), part.begin(), part.end());
+  }
+  if (num_shards_ == 1) return candidates;
+
+  // Pass 2: global shadow test newest-first over the merged candidates
+  // (same algorithm and fragmentation cap as Directory::query_latest).
+  std::sort(candidates.begin(), candidates.end(), newest_first);
+  constexpr std::size_t kFragmentCap = 64;
+  std::vector<ObjectDescriptor> out;
+  std::vector<geom::BoundingBox> uncovered{region};
+  bool exact = true;
+  for (const auto& desc : candidates) {
+    if (!exact) {
+      out.push_back(desc);
+      continue;
+    }
+    if (uncovered.empty()) break;
+    bool hit = false;
+    for (const auto& piece : uncovered) {
+      if (desc.box.intersects(piece)) {
+        hit = true;
+        break;
+      }
+    }
+    if (!hit) continue;
+    out.push_back(desc);
+    std::vector<geom::BoundingBox> next;
+    for (const auto& piece : uncovered) {
+      piece.subtract(desc.box, &next);
+    }
+    uncovered = std::move(next);
+    if (uncovered.size() > kFragmentCap) exact = false;
+  }
+  return out;
+}
+
+StatusOr<ObjectDescriptor> ShardedDirectory::find_entity(
+    VarId var, const geom::BoundingBox& box) const {
+  const Shard& sh = shards_[shard_index(var, box)];
+  std::shared_lock lock(sh.mutex);
+  const ObjectDescriptor* desc = sh.dir.find_entity(var, box);
+  if (desc == nullptr) return Status::NotFound("no live entity");
+  return *desc;
+}
+
+std::size_t ShardedDirectory::size() const {
+  return static_cast<std::size_t>(std::max<std::int64_t>(0, size_.value()));
+}
+
+void ShardedDirectory::for_each(
+    const std::function<void(const ObjectDescriptor&,
+                             const ObjectLocation&)>& fn) const {
+  for (std::size_t i = 0; i < num_shards_; ++i) {
+    const Shard& sh = shards_[i];
+    std::shared_lock lock(sh.mutex);
+    sh.dir.for_each(fn);
+  }
+}
+
+ShardMetricsSnapshot ShardedDirectory::shard_metrics() const {
+  ShardMetricsSnapshot snap;
+  snap.shards = num_shards_;
+  for (std::size_t i = 0; i < num_shards_; ++i) {
+    snap.lock_acquisitions += shards_[i].mutex.acquisitions();
+    snap.contended_acquisitions += shards_[i].mutex.contended();
+  }
+  snap.max_shard_occupancy =
+      max_occupancy_.load(std::memory_order_relaxed);
+  return snap;
+}
+
+}  // namespace corec::staging

@@ -1,0 +1,122 @@
+#include "staging/thread_fabric.hpp"
+
+#include <thread>
+
+namespace corec::staging {
+
+namespace {
+
+std::size_t default_workers() {
+  std::size_t hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 4 : hw;
+}
+
+}  // namespace
+
+ThreadFabric::ThreadFabric(std::size_t num_servers, FabricOptions options)
+    : directory_(options.directory_shards),
+      pool_(options.workers == 0 ? default_workers() : options.workers) {
+  if (num_servers == 0) num_servers = 1;
+  stores_.reserve(num_servers);
+  for (std::size_t s = 0; s < num_servers; ++s) {
+    stores_.push_back(std::make_unique<ShardedObjectStore>(
+        options.server_capacity, options.store_shards));
+  }
+}
+
+Status ThreadFabric::put(ServerId server, DataObject object,
+                         StoredKind kind) {
+  puts_.fetch_add(1, std::memory_order_relaxed);
+  Status st = stores_[server]->put(std::move(object), kind);
+  if (!st.ok()) put_failures_.fetch_add(1, std::memory_order_relaxed);
+  return st;
+}
+
+StatusOr<StoredObject> ThreadFabric::get(
+    ServerId server, const ObjectDescriptor& desc) const {
+  gets_.fetch_add(1, std::memory_order_relaxed);
+  auto found = stores_[server]->get(desc);
+  if (!found.ok()) get_misses_.fetch_add(1, std::memory_order_relaxed);
+  return found;
+}
+
+bool ThreadFabric::erase(ServerId server, const ObjectDescriptor& desc) {
+  erases_.fetch_add(1, std::memory_order_relaxed);
+  return stores_[server]->erase(desc);
+}
+
+ServerId ThreadFabric::route(const ObjectDescriptor& desc) const {
+  return static_cast<ServerId>(DescriptorHash{}(desc.base()) %
+                               stores_.size());
+}
+
+Status ThreadFabric::put(DataObject object, StoredKind kind) {
+  ServerId s = route(object.desc);
+  return put(s, std::move(object), kind);
+}
+
+StatusOr<StoredObject> ThreadFabric::get(
+    const ObjectDescriptor& desc) const {
+  return get(route(desc), desc);
+}
+
+bool ThreadFabric::erase(const ObjectDescriptor& desc) {
+  return erase(route(desc), desc);
+}
+
+void ThreadFabric::async_put(ServerId server, DataObject object,
+                             StoredKind kind,
+                             std::function<void(Status)> done) {
+  pool_.submit([this, server, object = std::move(object), kind,
+                done = std::move(done)]() mutable {
+    Status st = put(server, std::move(object), kind);
+    if (done) done(std::move(st));
+  });
+}
+
+void ThreadFabric::async_get(
+    ServerId server, ObjectDescriptor desc,
+    std::function<void(StatusOr<StoredObject>)> done) {
+  pool_.submit([this, server, desc, done = std::move(done)] {
+    done(get(server, desc));
+  });
+}
+
+void ThreadFabric::async_erase(ServerId server, ObjectDescriptor desc,
+                               std::function<void(bool)> done) {
+  pool_.submit([this, server, desc, done = std::move(done)] {
+    bool erased = erase(server, desc);
+    if (done) done(erased);
+  });
+}
+
+std::size_t ThreadFabric::total_objects() const {
+  std::size_t sum = 0;
+  for (const auto& store : stores_) sum += store->count();
+  return sum;
+}
+
+std::size_t ThreadFabric::total_bytes() const {
+  std::size_t sum = 0;
+  for (const auto& store : stores_) sum += store->total_bytes();
+  return sum;
+}
+
+FabricStatsSnapshot ThreadFabric::stats() const {
+  FabricStatsSnapshot snap;
+  snap.puts = puts_.load(std::memory_order_relaxed);
+  snap.gets = gets_.load(std::memory_order_relaxed);
+  snap.erases = erases_.load(std::memory_order_relaxed);
+  snap.put_failures = put_failures_.load(std::memory_order_relaxed);
+  snap.get_misses = get_misses_.load(std::memory_order_relaxed);
+  return snap;
+}
+
+ShardMetricsSnapshot ThreadFabric::shard_metrics() const {
+  ShardMetricsSnapshot snap;
+  for (const auto& store : stores_) snap.merge(store->shard_metrics());
+  snap.merge(directory_.shard_metrics());
+  return snap;
+}
+
+}  // namespace corec::staging

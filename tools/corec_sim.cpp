@@ -8,14 +8,21 @@
 //   corec_sim --case 5 --mechanism corec --fail 4:2 --replace 8:2
 //   corec_sim --case 2 --mechanism hybrid --floor 0.72 --csv
 //   corec_sim --s3d 4480 --mechanism corec --scale 4
+//   corec_sim --threads 4 --servers 8
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "common/buffer.hpp"
 #include "common/failpoint.hpp"
+#include "common/rng.hpp"
+#include "staging/thread_fabric.hpp"
 #include "core/corec_scheme.hpp"
 #include "meta/meta_client.hpp"
 #include "net/cost_model.hpp"
@@ -57,6 +64,9 @@ struct CliOptions {
   // step:server pairs
   std::vector<std::pair<Version, ServerId>> fails;
   std::vector<std::pair<Version, ServerId>> replaces;
+  // Real-thread fabric exercise: 0 = run the virtual-time simulator
+  // (default); N > 0 drives a ThreadFabric from N client threads.
+  std::size_t threads = 0;
 };
 
 void usage() {
@@ -90,6 +100,10 @@ void usage() {
       "                      MTBF of S seconds (0 = off, default)\n"
       "  --batch-encode      drain CoREC cold transitions through the\n"
       "                      batched pipelined encoder (corec variants)\n"
+      "  --threads N         skip the simulator; drive the real-thread\n"
+      "                      ThreadFabric (sharded stores + entity-\n"
+      "                      sharded directory) from N client threads\n"
+      "                      with byte verification of every read\n"
       "  --seed N            RNG seed\n"
       "  --verify            real payloads + byte verification\n"
       "  --calibrate         measure this machine's GF kernel encode\n"
@@ -154,6 +168,8 @@ bool parse_args(int argc, char** argv, CliOptions* cli) {
       cli->n_level = static_cast<std::size_t>(std::atol(next()));
     } else if (a == "--floor") {
       cli->floor = std::atof(next());
+    } else if (a == "--threads") {
+      cli->threads = static_cast<std::size_t>(std::atol(next()));
     } else if (a == "--seed") {
       cli->seed = std::strtoull(next(), nullptr, 10);
     } else if (a == "--failpoints") {
@@ -189,6 +205,183 @@ bool parse_args(int argc, char** argv, CliOptions* cli) {
   return true;
 }
 
+// --threads mode: hammer a ThreadFabric from N real client threads.
+// Each thread owns a disjoint slice of entities (so expected bytes are
+// deterministic) but entities from different threads interleave over
+// the same servers and shards, exercising the lock stripes. Every get
+// is byte-verified against the owner's last write; a final async batch
+// exercises the worker-pool dispatch path. Returns nonzero on any
+// mismatch.
+int run_fabric_exercise(const CliOptions& cli) {
+  using staging::DataObject;
+  using staging::ObjectDescriptor;
+  using staging::ObjectLocation;
+  using staging::StoredKind;
+
+  constexpr int kEntitiesPerThread = 64;
+  constexpr int kOpsPerThread = 20000;
+  constexpr std::size_t kPayloadBytes = 2048;
+  const std::size_t threads = cli.threads;
+
+  staging::FabricOptions options;
+  options.workers = threads;
+  // Stripe for the offered parallelism, not the host's core count: the
+  // exercise (and the TSan CI leg) must cover cross-stripe interleaving
+  // even on single-core runners where the auto shard count is 1.
+  options.store_shards = threads * 4;
+  options.directory_shards = threads * 4;
+  staging::ThreadFabric fabric(cli.servers, options);
+  payload_metrics().reset();
+
+  auto desc_of = [](std::size_t tid, int entity, Version version) {
+    const auto cell =
+        static_cast<geom::Coord>(tid) * kEntitiesPerThread + entity;
+    return ObjectDescriptor{static_cast<VarId>(1 + tid), version,
+                            geom::BoundingBox::line(cell * 16, cell * 16 + 15),
+                            staging::kWholeObject};
+  };
+  auto payload_of = [](std::size_t tid, int entity, Version version) {
+    Bytes b(kPayloadBytes);
+    for (std::size_t i = 0; i < b.size(); ++i) {
+      b[i] = static_cast<std::uint8_t>(tid * 131 + entity * 31 +
+                                       version * 7 + i);
+    }
+    return b;
+  };
+
+  std::atomic<std::uint64_t> mismatches{0};
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> clients;
+  clients.reserve(threads);
+  for (std::size_t tid = 0; tid < threads; ++tid) {
+    clients.emplace_back([&, tid] {
+      Rng rng(cli.seed, 0x7ab0 + tid);
+      // Per-entity: version of the owner's last live write (0 = erased).
+      std::vector<Version> live(kEntitiesPerThread, 0);
+      for (int op = 0; op < kOpsPerThread; ++op) {
+        const int entity =
+            static_cast<int>(rng.uniform(kEntitiesPerThread));
+        const std::uint32_t dice = rng.uniform(100);
+        if (dice < 50 || live[entity] == 0) {  // put (new version)
+          const Version v = live[entity] + 1;
+          const ObjectDescriptor desc = desc_of(tid, entity, v);
+          const ObjectDescriptor old = desc_of(tid, entity, live[entity]);
+          if (live[entity] != 0) {
+            (void)fabric.erase(old);
+            (void)fabric.directory().remove(old);
+          }
+          Status st = fabric.put(
+              DataObject::real(desc,
+                               PayloadBuffer::wrap(payload_of(tid, entity, v))),
+              StoredKind::kPrimary);
+          if (!st.ok()) {
+            mismatches.fetch_add(1, std::memory_order_relaxed);
+            continue;
+          }
+          ObjectLocation loc;
+          loc.primary = fabric.route(desc);
+          loc.logical_size = kPayloadBytes;
+          fabric.directory().upsert(desc, loc);
+          live[entity] = v;
+        } else if (dice < 90) {  // verified read
+          const ObjectDescriptor desc = desc_of(tid, entity, live[entity]);
+          auto got = fabric.get(desc);
+          if (!got.ok() ||
+              !(got.value().object.data ==
+                payload_of(tid, entity, live[entity]))) {
+            mismatches.fetch_add(1, std::memory_order_relaxed);
+          }
+          auto loc = fabric.directory().find(desc);
+          if (!loc.ok() || loc.value().primary != fabric.route(desc)) {
+            mismatches.fetch_add(1, std::memory_order_relaxed);
+          }
+        } else {  // erase; a re-read must now miss
+          const ObjectDescriptor desc = desc_of(tid, entity, live[entity]);
+          if (!fabric.erase(desc) || !fabric.directory().remove(desc) ||
+              fabric.get(desc).ok()) {
+            mismatches.fetch_add(1, std::memory_order_relaxed);
+          }
+          live[entity] = 0;
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  const double sync_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    start)
+          .count();
+  const std::uint64_t sync_ops =
+      static_cast<std::uint64_t>(threads) * kOpsPerThread;
+
+  // Async leg: dispatch one more round of puts through the worker pool
+  // and verify all of them landed after drain().
+  std::atomic<std::uint64_t> async_failures{0};
+  const auto async_var = static_cast<VarId>(1000);
+  for (int i = 0; i < 256; ++i) {
+    ObjectDescriptor desc{async_var, 1,
+                          geom::BoundingBox::line(i * 4, i * 4 + 3),
+                          staging::kWholeObject};
+    fabric.async_put(
+        fabric.route(desc),
+        DataObject::real(desc, PayloadBuffer::wrap(Bytes(512, 0xA5))),
+        StoredKind::kPrimary, [&async_failures](Status st) {
+          if (!st.ok()) {
+            async_failures.fetch_add(1, std::memory_order_relaxed);
+          }
+        });
+  }
+  fabric.drain();
+  for (int i = 0; i < 256; ++i) {
+    ObjectDescriptor desc{async_var, 1,
+                          geom::BoundingBox::line(i * 4, i * 4 + 3),
+                          staging::kWholeObject};
+    if (!fabric.get(desc).ok()) {
+      async_failures.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  const auto stats = fabric.stats();
+  const auto shards = fabric.shard_metrics();
+  const auto& pm = payload_metrics();
+  std::printf("fabric          : %zu servers x %zu shards, %zu client "
+              "threads, %zu workers\n",
+              fabric.num_servers(), fabric.store(0).shard_count(),
+              threads, threads);
+  std::printf("sync phase      : %llu ops in %.3f s (%.2f M ops/s)\n",
+              static_cast<unsigned long long>(sync_ops), sync_seconds,
+              static_cast<double>(sync_ops) / sync_seconds / 1e6);
+  std::printf("fabric ops      : %llu puts (%llu failed), %llu gets "
+              "(%llu misses), %llu erases\n",
+              static_cast<unsigned long long>(stats.puts),
+              static_cast<unsigned long long>(stats.put_failures),
+              static_cast<unsigned long long>(stats.gets),
+              static_cast<unsigned long long>(stats.get_misses),
+              static_cast<unsigned long long>(stats.erases));
+  std::printf("objects         : %zu live (%zu B), directory %zu\n",
+              fabric.total_objects(), fabric.total_bytes(),
+              fabric.directory().size());
+  std::printf("shard metrics   : %llu lock acquisitions, %llu contended "
+              "(%.4f%%), max shard occupancy %llu\n",
+              static_cast<unsigned long long>(shards.lock_acquisitions),
+              static_cast<unsigned long long>(
+                  shards.contended_acquisitions),
+              100.0 * shards.contention_rate(),
+              static_cast<unsigned long long>(shards.max_shard_occupancy));
+  std::printf("payload         : %llu bytes copied on reads, %llu cow "
+              "detaches, %llu crc recomputes\n",
+              static_cast<unsigned long long>(pm.bytes_copied.load()),
+              static_cast<unsigned long long>(pm.cow_detaches.load()),
+              static_cast<unsigned long long>(pm.crc_computed.load()));
+  const std::uint64_t bad = mismatches.load() + async_failures.load();
+  std::printf("verification    : %s (%llu mismatches, %llu async "
+              "failures)\n",
+              bad == 0 ? "all reads byte-exact" : "MISMATCH",
+              static_cast<unsigned long long>(mismatches.load()),
+              static_cast<unsigned long long>(async_failures.load()));
+  return bad == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -197,6 +390,7 @@ int main(int argc, char** argv) {
     usage();
     return 2;
   }
+  if (cli.threads > 0) return run_fabric_exercise(cli);
   if (!cli.failpoints.empty()) {
     Status st = failpoint::registry().arm_from_string(cli.failpoints);
     if (!st.ok()) {

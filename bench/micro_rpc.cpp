@@ -1,0 +1,298 @@
+// micro_rpc — multi-process open-loop load generator for the
+// corec-server RPC path. Forks N client processes against a running
+// server; each process drives its own corec_client connection pool and
+// records per-op latency into a log-spaced histogram in shared memory.
+// The parent merges the histograms and prints one JSON record with
+// throughput and p50/p95/p99 latency — the data behind BENCH_rpc.json.
+//
+//   micro_rpc --port P [--host H] [--clients 4] [--seconds 2]
+//             [--mix put|get|mixed] [--bytes 4096] [--rate OPS]
+//
+// --rate > 0 runs open-loop: ops are released on an exponential
+// arrival schedule per client and latency includes queueing delay
+// behind a slow server (coordinated omission is not hidden).
+// --rate 0 (default) runs closed-loop.
+#include <sys/mman.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "rpc/client.hpp"
+
+namespace {
+
+using corec::Bytes;
+using corec::PayloadBuffer;
+using corec::VarId;
+using corec::Version;
+using corec::rpc::Client;
+using corec::rpc::ClientOptions;
+using Clock = std::chrono::steady_clock;
+
+constexpr std::size_t kBuckets = 512;
+constexpr double kBucketGrowth = 1.04;
+
+// POD result block, one per child, in MAP_SHARED anonymous memory.
+struct ChildResult {
+  std::uint64_t ops = 0;
+  std::uint64_t errors = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t max_us = 0;
+  std::uint64_t hist[kBuckets] = {};
+};
+
+std::size_t bucket_of(double us) {
+  if (us < 0) us = 0;
+  const auto idx = static_cast<std::size_t>(
+      std::log(us + 1.0) / std::log(kBucketGrowth));
+  return idx >= kBuckets ? kBuckets - 1 : idx;
+}
+
+double bucket_floor_us(std::size_t idx) {
+  return std::pow(kBucketGrowth, static_cast<double>(idx)) - 1.0;
+}
+
+double percentile_us(const std::uint64_t* hist, std::uint64_t total,
+                     double q) {
+  if (total == 0) return 0.0;
+  const auto target = static_cast<std::uint64_t>(
+      q * static_cast<double>(total));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    seen += hist[i];
+    if (seen > target) {
+      return (bucket_floor_us(i) + bucket_floor_us(i + 1)) / 2.0;
+    }
+  }
+  return bucket_floor_us(kBuckets);
+}
+
+struct Config {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  std::size_t clients = 4;
+  double seconds = 2.0;
+  std::string mix = "mixed";  // put | get | mixed
+  std::size_t payload_bytes = 4096;
+  double rate = 0.0;  // per-client target ops/s; 0 = closed loop
+  std::uint64_t seed = 42;
+};
+
+Bytes pattern(std::size_t n, std::uint64_t seed) {
+  Bytes b(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    b[i] = static_cast<std::uint8_t>(seed * 131 + i * 7);
+  }
+  return b;
+}
+
+corec::staging::ObjectDescriptor desc_of(std::size_t child, int entity,
+                                         Version version) {
+  const auto cell = static_cast<corec::geom::Coord>(child) * 512 + entity;
+  return {static_cast<VarId>(9000 + child), version,
+          corec::geom::BoundingBox::line(cell * 8, cell * 8 + 7),
+          corec::staging::kWholeObject};
+}
+
+int run_child(const Config& cfg, std::size_t child, ChildResult* out) {
+  constexpr int kEntities = 64;
+  ClientOptions copts;
+  copts.host = cfg.host;
+  copts.port = cfg.port;
+  copts.pool_size = 2;
+  copts.max_retries = 2;
+  copts.retry_backoff_ms = 1;
+  Client client(copts);
+  if (!client.ping().ok()) {
+    out->errors += 1;
+    return 1;
+  }
+
+  // Seed the keyspace so gets always hit.
+  std::vector<Version> live(kEntities, 1);
+  for (int e = 0; e < kEntities; ++e) {
+    if (!client
+             .put(desc_of(child, e, 1),
+                  PayloadBuffer::wrap(
+                      pattern(cfg.payload_bytes, child * 1000 + e)))
+             .ok()) {
+      out->errors += 1;
+    }
+  }
+
+  std::mt19937_64 rng(cfg.seed * 7919 + child);
+  std::uniform_int_distribution<int> pick_entity(0, kEntities - 1);
+  std::uniform_int_distribution<int> pick_op(0, 99);
+  std::exponential_distribution<double> interarrival(
+      cfg.rate > 0 ? cfg.rate : 1.0);
+
+  const auto start = Clock::now();
+  const auto deadline =
+      start + std::chrono::duration_cast<Clock::duration>(
+                  std::chrono::duration<double>(cfg.seconds));
+  auto next_release = start;
+  while (Clock::now() < deadline) {
+    if (cfg.rate > 0) {
+      // Open loop: each op has a scheduled release time; latency is
+      // measured from the schedule, so server slowness shows up as
+      // queueing delay instead of silently lowering the offered load.
+      next_release += std::chrono::duration_cast<Clock::duration>(
+          std::chrono::duration<double>(interarrival(rng)));
+      std::this_thread::sleep_until(next_release);
+    }
+    const auto op_start = cfg.rate > 0 ? next_release : Clock::now();
+    const int entity = pick_entity(rng);
+    bool is_put = cfg.mix == "put" ||
+                  (cfg.mix == "mixed" && pick_op(rng) < 50);
+    bool ok;
+    std::size_t moved = cfg.payload_bytes;
+    if (is_put) {
+      const Version v = ++live[entity];
+      ok = client
+               .put(desc_of(child, entity, v),
+                    PayloadBuffer::wrap(
+                        pattern(cfg.payload_bytes,
+                                child * 1000 + entity + v)))
+               .ok();
+      if (ok && v > 1) (void)client.erase(desc_of(child, entity, v - 1));
+    } else {
+      auto got = client.get(desc_of(child, entity, live[entity]));
+      ok = got.ok();
+      if (ok) moved = got->payload.size();
+    }
+    const double us =
+        std::chrono::duration<double, std::micro>(Clock::now() - op_start)
+            .count();
+    if (ok) {
+      out->ops += 1;
+      out->bytes += moved;
+      out->hist[bucket_of(us)] += 1;
+      const auto us_int = static_cast<std::uint64_t>(us);
+      if (us_int > out->max_us) out->max_us = us_int;
+    } else {
+      out->errors += 1;
+    }
+  }
+  return 0;
+}
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: micro_rpc --port P [--host H] [--clients N] "
+               "[--seconds S] [--mix put|get|mixed] [--bytes B] "
+               "[--rate OPS] [--seed N]\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Config cfg;
+  for (int i = 1; i < argc; ++i) {
+    std::string a = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        usage();
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (a == "--host") {
+      cfg.host = next();
+    } else if (a == "--port") {
+      cfg.port = static_cast<std::uint16_t>(std::atoi(next()));
+    } else if (a == "--clients") {
+      cfg.clients = static_cast<std::size_t>(std::atol(next()));
+    } else if (a == "--seconds") {
+      cfg.seconds = std::atof(next());
+    } else if (a == "--mix") {
+      cfg.mix = next();
+    } else if (a == "--bytes") {
+      cfg.payload_bytes = static_cast<std::size_t>(std::atol(next()));
+    } else if (a == "--rate") {
+      cfg.rate = std::atof(next());
+    } else if (a == "--seed") {
+      cfg.seed = std::strtoull(next(), nullptr, 10);
+    } else {
+      usage();
+      return 2;
+    }
+  }
+  if (cfg.port == 0 || cfg.clients == 0 ||
+      (cfg.mix != "put" && cfg.mix != "get" && cfg.mix != "mixed")) {
+    usage();
+    return 2;
+  }
+
+  auto* results = static_cast<ChildResult*>(
+      ::mmap(nullptr, sizeof(ChildResult) * cfg.clients,
+             PROT_READ | PROT_WRITE, MAP_SHARED | MAP_ANONYMOUS, -1, 0));
+  if (results == MAP_FAILED) {
+    std::perror("mmap");
+    return 1;
+  }
+  for (std::size_t c = 0; c < cfg.clients; ++c) {
+    new (&results[c]) ChildResult();
+  }
+
+  const auto wall_start = Clock::now();
+  std::vector<pid_t> children;
+  for (std::size_t c = 0; c < cfg.clients; ++c) {
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      std::perror("fork");
+      return 1;
+    }
+    if (pid == 0) {
+      std::exit(run_child(cfg, c, &results[c]));
+    }
+    children.push_back(pid);
+  }
+  int exit_code = 0;
+  for (pid_t pid : children) {
+    int status = 0;
+    ::waitpid(pid, &status, 0);
+    if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) exit_code = 1;
+  }
+  const double wall =
+      std::chrono::duration<double>(Clock::now() - wall_start).count();
+
+  std::uint64_t ops = 0, errors = 0, bytes = 0, max_us = 0;
+  std::uint64_t hist[kBuckets] = {};
+  for (std::size_t c = 0; c < cfg.clients; ++c) {
+    ops += results[c].ops;
+    errors += results[c].errors;
+    bytes += results[c].bytes;
+    if (results[c].max_us > max_us) max_us = results[c].max_us;
+    for (std::size_t b = 0; b < kBuckets; ++b) {
+      hist[b] += results[c].hist[b];
+    }
+  }
+
+  std::printf(
+      "{\"mix\":\"%s\",\"clients\":%zu,\"seconds\":%.3f,"
+      "\"payload_bytes\":%zu,\"rate_per_client\":%.1f,"
+      "\"ops\":%llu,\"errors\":%llu,"
+      "\"throughput_ops_s\":%.1f,\"throughput_mib_s\":%.2f,"
+      "\"p50_us\":%.1f,\"p95_us\":%.1f,\"p99_us\":%.1f,"
+      "\"max_us\":%llu}\n",
+      cfg.mix.c_str(), cfg.clients, wall, cfg.payload_bytes, cfg.rate,
+      static_cast<unsigned long long>(ops),
+      static_cast<unsigned long long>(errors),
+      static_cast<double>(ops) / wall,
+      static_cast<double>(bytes) / wall / (1024.0 * 1024.0),
+      percentile_us(hist, ops, 0.50), percentile_us(hist, ops, 0.95),
+      percentile_us(hist, ops, 0.99),
+      static_cast<unsigned long long>(max_us));
+  ::munmap(results, sizeof(ChildResult) * cfg.clients);
+  return exit_code;
+}

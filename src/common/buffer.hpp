@@ -187,15 +187,30 @@ class BufferWriter {
   Bytes* out_;
 };
 
+/// Default ceiling on a single length-prefixed blob/string a
+/// BufferReader will accept. Network-facing decoders pass a tighter
+/// limit; the default guards even trusted-file paths against a corrupt
+/// length field turning into a giant allocation.
+inline constexpr std::size_t kDefaultMaxBlobBytes = 256u << 20;
+
 /// Sequentially decodes values previously written by BufferWriter.
+///
+/// Hardened against hostile input (frames come off the network): every
+/// read is bounds-checked in overflow-safe form (`n > remaining()`
+/// rather than `pos_ + n > size()`, which wraps for huge declared
+/// lengths), and length-prefixed fields are rejected before allocation
+/// when the declared length exceeds either the bytes actually present
+/// or the configured `max_blob` ceiling.
 class BufferReader {
  public:
-  explicit BufferReader(ByteSpan data) : data_(data) {}
+  explicit BufferReader(ByteSpan data,
+                        std::size_t max_blob = kDefaultMaxBlobBytes)
+      : data_(data), max_blob_(max_blob) {}
 
   template <typename T>
   Status get(T* v) {
     static_assert(std::is_trivially_copyable_v<T>);
-    if (pos_ + sizeof(T) > data_.size()) {
+    if (sizeof(T) > remaining()) {
       return Status::InvalidArgument("buffer underrun");
     }
     std::memcpy(v, data_.data() + pos_, sizeof(T));
@@ -205,10 +220,7 @@ class BufferReader {
 
   Status get_bytes(Bytes* out) {
     std::uint64_t n = 0;
-    COREC_RETURN_IF_ERROR(get(&n));
-    if (pos_ + n > data_.size()) {
-      return Status::InvalidArgument("buffer underrun (blob)");
-    }
+    COREC_RETURN_IF_ERROR(check_blob_length(&n, "blob"));
     out->assign(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
                 data_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
     pos_ += n;
@@ -217,20 +229,34 @@ class BufferReader {
 
   Status get_string(std::string* out) {
     std::uint64_t n = 0;
-    COREC_RETURN_IF_ERROR(get(&n));
-    if (pos_ + n > data_.size()) {
-      return Status::InvalidArgument("buffer underrun (string)");
-    }
+    COREC_RETURN_IF_ERROR(check_blob_length(&n, "string"));
     out->assign(reinterpret_cast<const char*>(data_.data() + pos_), n);
     pos_ += n;
     return Status::Ok();
   }
 
   std::size_t remaining() const { return data_.size() - pos_; }
+  std::size_t max_blob() const { return max_blob_; }
 
  private:
+  /// Reads a length prefix and validates it against both the bytes
+  /// remaining and the blob ceiling, without ever computing pos_ + n.
+  Status check_blob_length(std::uint64_t* n, const char* what) {
+    COREC_RETURN_IF_ERROR(get(n));
+    if (*n > max_blob_) {
+      return Status::InvalidArgument(
+          std::string("declared ") + what + " length exceeds max");
+    }
+    if (*n > remaining()) {
+      return Status::InvalidArgument(std::string("buffer underrun (") +
+                                     what + ")");
+    }
+    return Status::Ok();
+  }
+
   ByteSpan data_;
   std::size_t pos_ = 0;
+  std::size_t max_blob_;
 };
 
 /// FNV-1a 64-bit content hash; used for integrity checks in tests and for

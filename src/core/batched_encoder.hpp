@@ -1,0 +1,120 @@
+// Batched, pipelined replica→EC encoder. CorecScheme with
+// `batch_transitions` enqueues cold demotions here instead of running
+// one token round-trip per object; end_of_step drains the queue in
+// multi-stripe batches:
+//
+//   * the queue is bucketed by encoding-token group, and each batch
+//     holds its group's token exactly once — 64 queued objects cost a
+//     handful of acquires instead of 64;
+//   * stripe preparation (chunk views + fused parity encode) fans out
+//     over a lazy thread pool and is handed to place_encoded via its
+//     `pre` parameter, so the simulation thread never re-chunks;
+//   * CRC verification of batch i+1 runs behind the simulated encode
+//     of batch i (BatchStats.verify_hidden records the overlap won);
+//   * sources whose payload no longer matches their recorded CRC are
+//     skipped (counted in verify_skipped_corrupt) exactly as the
+//     per-object path refuses to re-encode corrupt bytes.
+//
+// Floor accounting: queued transitions were already retired from the
+// stores but their stripes have not landed, so CorecScheme counts
+// pending_encoded_bytes() when checking the efficiency floor.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "common/types.hpp"
+#include "core/encoding_workflow.hpp"
+#include "staging/object.hpp"
+#include "staging/request.hpp"
+#include "staging/service.hpp"
+
+namespace corec::core {
+
+/// Batch cutting and pipelining knobs.
+struct BatchOptions {
+  /// A batch is cut when adding the next object would push it past
+  /// either limit (a single oversized object still forms a batch).
+  std::size_t max_batch_bytes = 16u << 20;
+  std::size_t max_batch_objects = 64;
+  /// Stripe-prep fan-out width. 0 = hardware concurrency; 1 = prepare
+  /// inline on the caller's thread (deterministic, no pool).
+  std::size_t encode_threads = 0;
+  /// Overlap CRC verification of batch i+1 with the simulated encode
+  /// of batch i. Off = fully serial (ablation / determinism baseline).
+  bool pipeline_verify = true;
+};
+
+/// Drain telemetry.
+struct BatchStats {
+  std::uint64_t objects = 0;         // objects encoded via the batch path
+  std::uint64_t batches = 0;         // batches cut
+  std::uint64_t token_acquires = 0;  // == batches (the amortization proof)
+  std::uint64_t payload_bytes = 0;   // logical bytes transitioned
+  std::uint64_t verify_skipped_corrupt = 0;  // sources dropped at verify
+  /// Virtual time of verify work that ran hidden behind a previous
+  /// batch's encode (0 when pipeline_verify is off).
+  SimTime verify_hidden = 0;
+};
+
+/// Multi-stripe transition drain for one CorecScheme instance. Not
+/// thread-safe: enqueue/drain run on the simulation thread; only the
+/// stripe preparation inside drain() fans out over worker threads.
+class BatchedEncoder {
+ public:
+  BatchedEncoder(staging::StagingService* service,
+                 EncodingWorkflow* workflow, std::size_t k, std::size_t m,
+                 const BatchOptions& options);
+
+  /// Queues one replica→EC transition. `holders` are the live servers
+  /// already holding the payload (primary first); the drain picks the
+  /// encoder among them. The caller has already retired the old
+  /// representation — the bytes live on only in `obj`'s buffer view.
+  void enqueue(staging::DataObject obj, ServerId primary,
+               std::vector<ServerId> holders);
+
+  bool empty() const { return queue_.empty(); }
+  std::size_t queued() const { return queue_.size(); }
+
+  /// Stored bytes the queued stripes will occupy once drained
+  /// (chunk_size * (k + m) per object) — the floor-accounting term.
+  std::size_t pending_encoded_bytes() const {
+    return pending_encoded_bytes_;
+  }
+
+  /// Encodes and places everything queued, batch by batch. Returns the
+  /// durable time of the last stripe placed (`now` when idle).
+  SimTime drain(SimTime now, staging::Breakdown* bd);
+
+  const BatchStats& stats() const { return stats_; }
+
+ private:
+  struct Pending {
+    staging::DataObject obj;
+    ServerId primary = kInvalidServer;
+    std::vector<ServerId> holders;
+    ServerId encoder = kInvalidServer;  // chosen at drain time
+  };
+
+  /// Stored stripe footprint of one queued object.
+  std::size_t encoded_footprint(std::size_t logical) const;
+
+  /// Lazily started stripe-prep pool (never started when
+  /// encode_threads == 1).
+  ThreadPool* pool();
+
+  staging::StagingService* service_;
+  EncodingWorkflow* workflow_;
+  std::size_t k_;
+  std::size_t m_;
+  BatchOptions options_;
+  std::vector<Pending> queue_;
+  std::size_t pending_encoded_bytes_ = 0;
+  std::unique_ptr<ThreadPool> pool_;
+  BatchStats stats_;
+};
+
+}  // namespace corec::core

@@ -1,0 +1,105 @@
+#include "rpc/event_loop.hpp"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <cstring>
+
+namespace corec::rpc {
+
+EventLoop::EventLoop()
+    : epoll_(::epoll_create1(0)),
+      wake_(::eventfd(0, EFD_NONBLOCK)) {
+  if (!valid()) return;
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = wake_.get();
+  ::epoll_ctl(epoll_.get(), EPOLL_CTL_ADD, wake_.get(), &ev);
+}
+
+EventLoop::~EventLoop() = default;
+
+Status EventLoop::add(int fd, std::uint32_t events, Handler handler) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  if (::epoll_ctl(epoll_.get(), EPOLL_CTL_ADD, fd, &ev) < 0) {
+    return Status::Internal(std::string("epoll_ctl(ADD): ") +
+                            std::strerror(errno));
+  }
+  handlers_[fd] = std::make_shared<Handler>(std::move(handler));
+  return Status::Ok();
+}
+
+Status EventLoop::modify(int fd, std::uint32_t events) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  if (::epoll_ctl(epoll_.get(), EPOLL_CTL_MOD, fd, &ev) < 0) {
+    return Status::Internal(std::string("epoll_ctl(MOD): ") +
+                            std::strerror(errno));
+  }
+  return Status::Ok();
+}
+
+void EventLoop::remove(int fd) {
+  ::epoll_ctl(epoll_.get(), EPOLL_CTL_DEL, fd, nullptr);
+  handlers_.erase(fd);
+}
+
+void EventLoop::drain_posted() {
+  std::vector<std::function<void()>> tasks;
+  {
+    std::lock_guard<std::mutex> lock(posted_mu_);
+    tasks.swap(posted_);
+  }
+  for (auto& task : tasks) task();
+}
+
+void EventLoop::run() {
+  std::array<epoll_event, 64> events;
+  while (!stopping_.load(std::memory_order_acquire)) {
+    const int n =
+        ::epoll_wait(epoll_.get(), events.data(),
+                     static_cast<int>(events.size()), /*timeout=*/-1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == wake_.get()) {
+        std::uint64_t drained = 0;
+        while (::read(wake_.get(), &drained, sizeof(drained)) > 0) {
+        }
+        continue;
+      }
+      auto it = handlers_.find(fd);
+      if (it == handlers_.end()) continue;  // removed mid-batch
+      auto handler = it->second;  // keep alive across self-removal
+      (*handler)(events[i].events);
+    }
+    drain_posted();
+  }
+  drain_posted();
+}
+
+void EventLoop::stop() {
+  stopping_.store(true, std::memory_order_release);
+  const std::uint64_t one = 1;
+  [[maybe_unused]] ssize_t n = ::write(wake_.get(), &one, sizeof(one));
+}
+
+void EventLoop::post(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(posted_mu_);
+    posted_.push_back(std::move(task));
+  }
+  const std::uint64_t one = 1;
+  [[maybe_unused]] ssize_t n = ::write(wake_.get(), &one, sizeof(one));
+}
+
+}  // namespace corec::rpc

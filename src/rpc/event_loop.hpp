@@ -1,0 +1,66 @@
+// Minimal epoll reactor for the RPC server. One thread calls run();
+// handlers for every registered fd execute on that thread, so
+// per-connection state needs no locking. Other threads hand work to
+// the loop thread with post(), which enqueues a task and wakes the
+// epoll_wait through an eventfd — this is how worker-pool op
+// completions re-enter the connection's single-threaded world.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.hpp"
+#include "rpc/socket.hpp"
+
+namespace corec::rpc {
+
+class EventLoop {
+ public:
+  /// Called with the epoll event mask (EPOLLIN / EPOLLOUT / EPOLLHUP...).
+  using Handler = std::function<void(std::uint32_t events)>;
+
+  EventLoop();
+  ~EventLoop();
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  bool valid() const { return epoll_.valid() && wake_.valid(); }
+
+  /// Registers `fd` for `events` (level-triggered). Loop thread only.
+  Status add(int fd, std::uint32_t events, Handler handler);
+
+  /// Changes the interest set of a registered fd. Loop thread only.
+  Status modify(int fd, std::uint32_t events);
+
+  /// Deregisters; the handler is dropped after the current dispatch.
+  void remove(int fd);
+
+  /// Blocks dispatching events and posted tasks until stop().
+  void run();
+
+  /// Requests run() to return (thread-safe, idempotent).
+  void stop();
+
+  /// Enqueues `task` to run on the loop thread (thread-safe).
+  void post(std::function<void()> task);
+
+ private:
+  void drain_posted();
+
+  OwnedFd epoll_;
+  OwnedFd wake_;  // eventfd: post()/stop() wakeups
+  // shared_ptr so a handler that removes itself (or another fd) during
+  // dispatch cannot free a handler the loop is still executing.
+  std::unordered_map<int, std::shared_ptr<Handler>> handlers_;
+  std::atomic<bool> stopping_{false};
+  std::mutex posted_mu_;
+  std::vector<std::function<void()>> posted_;
+};
+
+}  // namespace corec::rpc

@@ -1,0 +1,98 @@
+#include "rpc/frame.hpp"
+
+#include <cstring>
+#include <utility>
+
+namespace corec::rpc {
+
+void encode_frame_header(const FrameHeader& header, Bytes* out) {
+  BufferWriter w(out);
+  w.reserve(kFrameHeaderBytes);
+  w.put<std::uint32_t>(kFrameMagic);
+  w.put<std::uint8_t>(header.version);
+  w.put<std::uint8_t>(header.opcode);
+  w.put<std::uint16_t>(header.code);
+  w.put<std::uint64_t>(header.request_id);
+  w.put<std::uint32_t>(header.body_len);
+}
+
+StatusOr<FrameHeader> decode_frame_header(ByteSpan bytes,
+                                          std::size_t max_body) {
+  if (bytes.size() != kFrameHeaderBytes) {
+    return Status::InvalidArgument("frame header must be 20 bytes");
+  }
+  BufferReader r(bytes);
+  std::uint32_t magic = 0;
+  COREC_RETURN_IF_ERROR(r.get(&magic));
+  if (magic != kFrameMagic) {
+    return Status::InvalidArgument("bad frame magic");
+  }
+  FrameHeader h;
+  COREC_RETURN_IF_ERROR(r.get(&h.version));
+  COREC_RETURN_IF_ERROR(r.get(&h.opcode));
+  COREC_RETURN_IF_ERROR(r.get(&h.code));
+  COREC_RETURN_IF_ERROR(r.get(&h.request_id));
+  COREC_RETURN_IF_ERROR(r.get(&h.body_len));
+  if (h.version != kProtocolVersion) {
+    return Status::InvalidArgument("protocol version mismatch");
+  }
+  if (h.body_len > max_body) {
+    return Status::InvalidArgument("frame body exceeds max frame size");
+  }
+  return h;
+}
+
+MutableByteSpan FrameAssembler::next_span() {
+  if (ready_ || poisoned_) return {};
+  if (!in_body_) {
+    return {header_bytes_ + have_, kFrameHeaderBytes - have_};
+  }
+  return {body_.data() + have_, body_.size() - have_};
+}
+
+Status FrameAssembler::advance(std::size_t n) {
+  if (poisoned_) {
+    return Status::FailedPrecondition("assembler poisoned");
+  }
+  if (ready_ || n > next_span().size()) {
+    return Status::InvalidArgument("advance past frame boundary");
+  }
+  have_ += n;
+  if (!in_body_) {
+    if (have_ < kFrameHeaderBytes) return Status::Ok();
+    auto header = decode_frame_header({header_bytes_, kFrameHeaderBytes},
+                                      max_body_);
+    if (!header.ok()) {
+      // A byte stream with a corrupt header cannot be resynchronized;
+      // refuse all further input so the caller drops the connection.
+      poisoned_ = true;
+      return header.status();
+    }
+    header_ = *header;
+    if (header_.body_len == 0) {
+      ready_ = true;
+      return Status::Ok();
+    }
+    body_.resize(header_.body_len);
+    in_body_ = true;
+    have_ = 0;
+    return Status::Ok();
+  }
+  if (have_ == body_.size()) ready_ = true;
+  return Status::Ok();
+}
+
+Frame FrameAssembler::take_frame() {
+  Frame f;
+  f.header = header_;
+  // The body vector the socket read into becomes the frame's backing
+  // store directly — no copy between staging buffers.
+  f.body = PayloadBuffer::wrap(std::move(body_));
+  body_ = Bytes{};
+  have_ = 0;
+  in_body_ = false;
+  ready_ = false;
+  return f;
+}
+
+}  // namespace corec::rpc

@@ -1,0 +1,111 @@
+// Length-prefixed binary RPC framing. Every message on a CoREC RPC
+// connection is one frame: a fixed 20-byte header (magic, protocol
+// version, opcode, status code, request id, body length) followed by
+// `body_len` body bytes. The body payload format is the existing
+// staging/wire encoding, so the RPC layer adds framing and routing but
+// no second serialization scheme.
+//
+// FrameAssembler rebuilds frames incrementally from whatever chunk
+// sizes the socket delivers (partial headers, partial bodies, one
+// frame per read — all shapes). It is zero-copy on the body: the
+// assembler hands the caller the exact destination span to recv()
+// into, allocates each body once, and releases it as a refcounted
+// PayloadBuffer, so a put payload can flow from the socket read
+// straight into the sharded store without another memcpy.
+#pragma once
+
+#include <cstdint>
+
+#include "common/buffer.hpp"
+#include "common/status.hpp"
+
+namespace corec::rpc {
+
+/// First four bytes of every frame ("CREC" little-endian).
+inline constexpr std::uint32_t kFrameMagic = 0x43455243u;
+
+/// Protocol version byte. Bump on any incompatible frame or body
+/// layout change; peers reject frames from a different version.
+inline constexpr std::uint8_t kProtocolVersion = 1;
+
+/// Fixed encoded size of a FrameHeader.
+inline constexpr std::size_t kFrameHeaderBytes = 20;
+
+/// Default ceiling on declared body length. Frames claiming more are
+/// rejected before any allocation, so a corrupt or hostile length
+/// field can neither over-allocate nor stall the connection.
+inline constexpr std::size_t kDefaultMaxFrameBytes = 64ull << 20;
+
+/// Fixed per-frame metadata.
+struct FrameHeader {
+  std::uint8_t version = kProtocolVersion;
+  std::uint8_t opcode = 0;
+  // 0 on requests and successful responses; the wire rendering of the
+  // failing StatusCode on error responses (see protocol.hpp).
+  std::uint16_t code = 0;
+  std::uint64_t request_id = 0;
+  std::uint32_t body_len = 0;
+};
+
+/// Appends the 20-byte wire rendering of `header` to `out`.
+void encode_frame_header(const FrameHeader& header, Bytes* out);
+
+/// Decodes a header from exactly kFrameHeaderBytes. Rejects bad magic,
+/// version mismatches, and body lengths above `max_body`.
+StatusOr<FrameHeader> decode_frame_header(ByteSpan bytes,
+                                          std::size_t max_body);
+
+/// One fully reassembled frame. The body is the single allocation the
+/// assembler read into; slices of it share that backing store.
+struct Frame {
+  FrameHeader header;
+  PayloadBuffer body;
+};
+
+/// Incremental frame reassembly for one connection.
+///
+/// Usage per readable event:
+///   auto span = asm.next_span();
+///   n = recv(fd, span.data(), span.size(), 0);
+///   COREC_RETURN_IF_ERROR(asm.advance(n));
+///   while (asm.frame_ready()) handle(asm.take_frame());
+///
+/// next_span() always points at the bytes the current frame still
+/// needs (header remainder or body remainder), so the assembler never
+/// reads past a frame boundary and never copies between staging
+/// buffers.
+class FrameAssembler {
+ public:
+  explicit FrameAssembler(std::size_t max_body = kDefaultMaxFrameBytes)
+      : max_body_(max_body) {}
+
+  /// Destination for the next socket read. Empty while a completed
+  /// frame is waiting to be taken.
+  MutableByteSpan next_span();
+
+  /// Records that `n` bytes were read into next_span(). Fails (and
+  /// poisons the assembler) on malformed headers; the connection must
+  /// be dropped — resynchronizing inside a byte stream is impossible.
+  Status advance(std::size_t n);
+
+  bool frame_ready() const { return ready_; }
+
+  /// Pops the completed frame. Precondition: frame_ready().
+  Frame take_frame();
+
+  /// True when a frame is partially assembled (a peer dying now dies
+  /// mid-frame).
+  bool mid_frame() const { return have_ > 0 && !ready_; }
+
+ private:
+  std::size_t max_body_;
+  std::uint8_t header_bytes_[kFrameHeaderBytes] = {};
+  FrameHeader header_;
+  Bytes body_;
+  std::size_t have_ = 0;  // bytes of the current stage (header or body)
+  bool in_body_ = false;
+  bool ready_ = false;
+  bool poisoned_ = false;
+};
+
+}  // namespace corec::rpc

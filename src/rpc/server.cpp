@@ -1,0 +1,386 @@
+#include "rpc/server.hpp"
+
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <utility>
+
+#include "common/failpoint.hpp"
+
+namespace corec::rpc {
+
+using staging::DataObject;
+using staging::ObjectDescriptor;
+using staging::ObjectLocation;
+using staging::StoredKind;
+using staging::StoredObject;
+
+Server::Server(ServerOptions options)
+    : options_(std::move(options)),
+      fabric_(options_.num_servers, options_.fabric) {}
+
+Server::~Server() { stop(); }
+
+Status Server::start() {
+  if (running_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition("server already running");
+  }
+  if (!loop_.valid()) {
+    return Status::Internal("event loop initialization failed");
+  }
+  COREC_ASSIGN_OR_RETURN(listen_fd_,
+                         listen_tcp(options_.host, options_.port));
+  COREC_ASSIGN_OR_RETURN(bound_port_, local_port(listen_fd_.get()));
+  COREC_RETURN_IF_ERROR(loop_.add(listen_fd_.get(), EPOLLIN,
+                                  [this](std::uint32_t) { on_accept(); }));
+  running_.store(true, std::memory_order_release);
+  loop_thread_ = std::thread([this] { loop_.run(); });
+  return Status::Ok();
+}
+
+void Server::stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  // Stop accepting first, then wait for pool-dispatched ops to post
+  // their completions (the loop is still running to absorb them),
+  // then wind the loop down.
+  loop_.post([this] {
+    if (listen_fd_.valid()) {
+      loop_.remove(listen_fd_.get());
+      listen_fd_.reset();
+    }
+  });
+  fabric_.drain();
+  loop_.stop();
+  if (loop_thread_.joinable()) loop_thread_.join();
+  for (auto& [fd, conn] : connections_) {
+    conn->closed = true;
+    ::close(fd);
+  }
+  connections_.clear();
+  active_.store(0, std::memory_order_relaxed);
+}
+
+ServerStatsSnapshot Server::stats() const {
+  ServerStatsSnapshot s;
+  s.accepted = accepted_.load(std::memory_order_relaxed);
+  s.active = active_.load(std::memory_order_relaxed);
+  s.frames_in = frames_in_.load(std::memory_order_relaxed);
+  s.frames_out = frames_out_.load(std::memory_order_relaxed);
+  s.bytes_in = bytes_in_.load(std::memory_order_relaxed);
+  s.bytes_out = bytes_out_.load(std::memory_order_relaxed);
+  s.protocol_errors = protocol_errors_.load(std::memory_order_relaxed);
+  s.backpressure_pauses =
+      backpressure_pauses_.load(std::memory_order_relaxed);
+  s.injected_failures = injected_failures_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void Server::on_accept() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_.get(), nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (errno == EINTR) continue;
+      return;
+    }
+    if (auto hit = COREC_FAILPOINT("rpc.server.accept")) {
+      injected_failures_.fetch_add(1, std::memory_order_relaxed);
+      ::close(fd);
+      continue;
+    }
+    if (!set_nonblocking(fd).ok() || !set_nodelay(fd).ok()) {
+      ::close(fd);
+      continue;
+    }
+    auto conn = std::make_shared<Connection>(fd, options_.max_frame_bytes);
+    Status st = loop_.add(fd, EPOLLIN, [this, conn](std::uint32_t events) {
+      on_connection_event(conn, events);
+    });
+    if (!st.ok()) {
+      ::close(fd);
+      continue;
+    }
+    connections_[fd] = conn;
+    accepted_.fetch_add(1, std::memory_order_relaxed);
+    active_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void Server::on_connection_event(const ConnPtr& conn,
+                                 std::uint32_t events) {
+  if (conn->closed) return;
+  if (events & (EPOLLHUP | EPOLLERR)) {
+    close_connection(conn);
+    return;
+  }
+  if (events & EPOLLOUT) flush_writes(conn);
+  if (conn->closed) return;
+  if (events & EPOLLIN) on_readable(conn);
+}
+
+void Server::on_readable(const ConnPtr& conn) {
+  for (;;) {
+    if (conn->reads_paused || conn->closed) return;
+    MutableByteSpan span = conn->assembler.next_span();
+    if (span.empty()) return;  // poisoned assembler; close is pending
+    const ssize_t n = ::recv(conn->fd, span.data(), span.size(), 0);
+    if (n == 0) {
+      close_connection(conn);
+      return;
+    }
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (errno == EINTR) continue;
+      close_connection(conn);
+      return;
+    }
+    if (auto hit = COREC_FAILPOINT("rpc.server.read")) {
+      injected_failures_.fetch_add(1, std::memory_order_relaxed);
+      if (hit.action == failpoint::Action::kDelay) {
+        // Stalled-server simulation: swallow the bytes so the request
+        // never completes and the client's deadline fires.
+        continue;
+      }
+      // Otherwise the bytes are lost and the connection dies, exactly
+      // like a NIC-level reset mid-frame.
+      close_connection(conn);
+      return;
+    }
+    bytes_in_.fetch_add(static_cast<std::uint64_t>(n),
+                        std::memory_order_relaxed);
+    Status st = conn->assembler.advance(static_cast<std::size_t>(n));
+    if (!st.ok()) {
+      protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+      close_connection(conn);
+      return;
+    }
+    while (conn->assembler.frame_ready()) {
+      handle_frame(conn, conn->assembler.take_frame());
+      if (conn->closed) return;
+    }
+  }
+}
+
+void Server::handle_frame(const ConnPtr& conn, Frame frame) {
+  frames_in_.fetch_add(1, std::memory_order_relaxed);
+  if (!valid_opcode(frame.header.opcode)) {
+    protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+    enqueue_response(
+        conn, error_response(frame.header,
+                             Status::InvalidArgument("unknown opcode")));
+    return;
+  }
+  if (auto hit = COREC_FAILPOINT("rpc.server.dispatch")) {
+    injected_failures_.fetch_add(1, std::memory_order_relaxed);
+    enqueue_response(
+        conn,
+        error_response(frame.header,
+                       Status::Unavailable("injected dispatch failure")));
+    return;
+  }
+  if (!options_.pool_dispatch) {
+    enqueue_response(conn, execute(frame.header, frame.body));
+    return;
+  }
+  // Pool dispatch: the op runs on a fabric worker; the completion hops
+  // back onto the loop thread, which owns the connection state.
+  conn->inflight += 1;
+  fabric_.pool().submit(
+      [this, conn, header = frame.header, body = std::move(frame.body)] {
+        OutFrame response = execute(header, body);
+        loop_.post([this, conn, response = std::move(response)]() mutable {
+          conn->inflight -= 1;
+          if (conn->closed) return;
+          enqueue_response(conn, std::move(response));
+        });
+      });
+}
+
+Server::OutFrame Server::execute(const FrameHeader& header,
+                                 const PayloadBuffer& body) {
+  const auto op = static_cast<OpCode>(header.opcode);
+  switch (op) {
+    case OpCode::kPing: {
+      OutFrame out;
+      out.head = make_head(header, Status::Ok(), {}, 0);
+      return out;
+    }
+    case OpCode::kPut: {
+      auto req = decode_put_request(body);
+      if (!req.ok()) return error_response(header, req.status());
+      DataObject obj = DataObject::with_checksum(
+          req->desc, req->payload, req->checksum);
+      const ServerId primary = fabric_.route(req->desc);
+      Status st = fabric_.put(primary, std::move(obj), req->kind);
+      if (st.ok()) {
+        ObjectLocation loc;
+        loc.primary = primary;
+        loc.logical_size = req->payload.size();
+        loc.object_checksum = req->checksum;
+        fabric_.directory().upsert(req->desc, std::move(loc));
+      }
+      OutFrame out;
+      out.head = make_head(header, st, {}, 0);
+      return out;
+    }
+    case OpCode::kGet: {
+      auto desc = decode_get_request(body);
+      if (!desc.ok()) return error_response(header, desc.status());
+      auto found = fabric_.get(*desc);
+      if (!found.ok()) return error_response(header, found.status());
+      OutFrame out;
+      Bytes prefix = encode_get_response_prefix(*found);
+      // The payload rides as its own write segment: a refcounted view
+      // of the stored buffer, copied only by the kernel socket write.
+      out.payload = found->object.data;
+      out.head = make_head(header, Status::Ok(), prefix,
+                           out.payload.size());
+      return out;
+    }
+    case OpCode::kQuery: {
+      auto req = decode_query_request(body);
+      if (!req.ok()) return error_response(header, req.status());
+      std::vector<ObjectDescriptor> descs =
+          req->latest ? fabric_.directory().query_latest(
+                            req->var, req->version, req->region)
+                      : fabric_.directory().query(req->var, req->version,
+                                                  req->region);
+      OutFrame out;
+      out.head = make_head(header, Status::Ok(),
+                           encode_query_response(descs), 0);
+      return out;
+    }
+    case OpCode::kErase: {
+      auto desc = decode_erase_request(body);
+      if (!desc.ok()) return error_response(header, desc.status());
+      const bool removed = fabric_.erase(*desc);
+      fabric_.directory().remove(*desc);
+      OutFrame out;
+      out.head = make_head(header, Status::Ok(),
+                           encode_erase_response(removed), 0);
+      return out;
+    }
+    case OpCode::kStat: {
+      StatResponse s;
+      s.num_servers = fabric_.num_servers();
+      s.total_objects = fabric_.total_objects();
+      s.total_bytes = fabric_.total_bytes();
+      s.fabric = fabric_.stats();
+      OutFrame out;
+      out.head = make_head(header, Status::Ok(), encode_stat_response(s),
+                           0);
+      return out;
+    }
+  }
+  return error_response(header, Status::InvalidArgument("unknown opcode"));
+}
+
+Server::OutFrame Server::error_response(const FrameHeader& req,
+                                        const Status& status) {
+  OutFrame out;
+  out.head = make_head(req, status, {}, 0);
+  return out;
+}
+
+Bytes Server::make_head(const FrameHeader& req_header, const Status& status,
+                        const Bytes& body_prefix,
+                        std::size_t payload_bytes) {
+  FrameHeader h;
+  h.opcode = req_header.opcode;
+  h.code = status_to_wire(status);
+  h.request_id = req_header.request_id;
+  h.body_len =
+      static_cast<std::uint32_t>(body_prefix.size() + payload_bytes);
+  Bytes head;
+  head.reserve(kFrameHeaderBytes + body_prefix.size());
+  encode_frame_header(h, &head);
+  head.insert(head.end(), body_prefix.begin(), body_prefix.end());
+  return head;
+}
+
+void Server::enqueue_response(const ConnPtr& conn, OutFrame frame) {
+  if (conn->closed) return;
+  frames_out_.fetch_add(1, std::memory_order_relaxed);
+  conn->queued_bytes += frame.size();
+  conn->write_queue.push_back(std::move(frame));
+  flush_writes(conn);
+  if (conn->closed) return;
+  update_read_interest(conn);
+}
+
+void Server::flush_writes(const ConnPtr& conn) {
+  if (conn->closed) return;
+  if (auto hit = COREC_FAILPOINT("rpc.server.write")) {
+    injected_failures_.fetch_add(1, std::memory_order_relaxed);
+    if (hit.action == failpoint::Action::kPartialWrite &&
+        !conn->write_queue.empty()) {
+      // Write a truncated piece of the pending frame, then die: the
+      // client observes a mid-frame connection kill.
+      OutFrame& f = conn->write_queue.front();
+      std::size_t keep = hit.arg == 0 ? f.head.size() / 2
+                                      : static_cast<std::size_t>(hit.arg);
+      keep = std::min(keep, f.head.size());
+      if (keep > 0) {
+        [[maybe_unused]] ssize_t n =
+            ::send(conn->fd, f.head.data(), keep, MSG_NOSIGNAL);
+      }
+    }
+    close_connection(conn);
+    return;
+  }
+  while (!conn->write_queue.empty()) {
+    OutFrame& f = conn->write_queue.front();
+    const std::uint8_t* p = nullptr;
+    std::size_t len = 0;
+    if (f.offset < f.head.size()) {
+      p = f.head.data() + f.offset;
+      len = f.head.size() - f.offset;
+    } else {
+      const std::size_t poff = f.offset - f.head.size();
+      p = f.payload.data() + poff;
+      len = f.payload.size() - poff;
+    }
+    const ssize_t n = ::send(conn->fd, p, len, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      if (errno == EINTR) continue;
+      close_connection(conn);
+      return;
+    }
+    bytes_out_.fetch_add(static_cast<std::uint64_t>(n),
+                         std::memory_order_relaxed);
+    f.offset += static_cast<std::size_t>(n);
+    conn->queued_bytes -= static_cast<std::size_t>(n);
+    if (f.offset == f.size()) conn->write_queue.pop_front();
+  }
+  update_read_interest(conn);
+}
+
+void Server::update_read_interest(const ConnPtr& conn) {
+  if (conn->closed) return;
+  bool pause = conn->reads_paused;
+  if (!pause && conn->queued_bytes > options_.max_write_queue_bytes) {
+    pause = true;
+    backpressure_pauses_.fetch_add(1, std::memory_order_relaxed);
+  } else if (pause &&
+             conn->queued_bytes <= options_.max_write_queue_bytes / 2) {
+    pause = false;
+  }
+  conn->reads_paused = pause;
+  std::uint32_t events = pause ? 0 : EPOLLIN;
+  if (!conn->write_queue.empty()) events |= EPOLLOUT;
+  (void)loop_.modify(conn->fd, events);
+}
+
+void Server::close_connection(const ConnPtr& conn) {
+  if (conn->closed) return;
+  conn->closed = true;
+  loop_.remove(conn->fd);
+  ::close(conn->fd);
+  connections_.erase(conn->fd);
+  active_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+}  // namespace corec::rpc

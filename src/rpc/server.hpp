@@ -1,0 +1,150 @@
+// The CoREC network server: an epoll event loop fronting a
+// ThreadFabric. One loop thread owns every connection's state machine
+// (frame reassembly in, bounded write queue out); operations execute
+// either inline on the loop thread (sync dispatch) or on the fabric's
+// worker pool, with completions posted back to the loop through its
+// eventfd.
+//
+// Data-path zero-copy both ways:
+//   * put — the frame body is the single allocation the socket was
+//     read into; the stored payload is a slice of it (no memcpy);
+//   * get — the response is two write segments, a small encoded head
+//     and the store's refcounted payload view; the only copy of the
+//     payload is the kernel socket write.
+//
+// Backpressure: when a connection's write queue exceeds the bound, the
+// server stops reading from it (EPOLLIN off) until the queue drains
+// below half — a slow reader throttles itself, not the whole server.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <thread>
+#include <unordered_map>
+
+#include "rpc/event_loop.hpp"
+#include "rpc/frame.hpp"
+#include "rpc/protocol.hpp"
+#include "staging/thread_fabric.hpp"
+
+namespace corec::rpc {
+
+struct ServerOptions {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;  // 0 = kernel-assigned (see Server::port())
+  /// Fabric shape fronted by this server.
+  std::size_t num_servers = 4;
+  staging::FabricOptions fabric;
+  /// false: ops run inline on the loop thread (lowest latency);
+  /// true: ops dispatch onto the fabric worker pool (loop thread never
+  /// blocks on a store lock).
+  bool pool_dispatch = false;
+  std::size_t max_frame_bytes = kDefaultMaxFrameBytes;
+  /// Write-queue bound per connection before reads pause.
+  std::size_t max_write_queue_bytes = 32u << 20;
+};
+
+/// Operation + transport counters (relaxed; exact at quiesce).
+struct ServerStatsSnapshot {
+  std::uint64_t accepted = 0;
+  std::uint64_t active = 0;
+  std::uint64_t frames_in = 0;
+  std::uint64_t frames_out = 0;
+  std::uint64_t bytes_in = 0;
+  std::uint64_t bytes_out = 0;
+  std::uint64_t protocol_errors = 0;   // bad magic/version/opcode/body
+  std::uint64_t backpressure_pauses = 0;
+  std::uint64_t injected_failures = 0;  // failpoint-forced drops/errors
+};
+
+class Server {
+ public:
+  explicit Server(ServerOptions options = {});
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens, and spawns the event-loop thread.
+  Status start();
+
+  /// Stops accepting, closes every connection, joins the loop thread.
+  /// Safe to call twice.
+  void stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// Bound address (valid after start(); resolves port 0).
+  const std::string& host() const { return options_.host; }
+  std::uint16_t port() const { return bound_port_; }
+
+  /// The data plane this server fronts. The in-process view stays
+  /// fully usable — tests compare RPC results against direct calls.
+  staging::ThreadFabric& fabric() { return fabric_; }
+  const staging::ThreadFabric& fabric() const { return fabric_; }
+
+  ServerStatsSnapshot stats() const;
+
+ private:
+  /// One queued response write: a small encoded head (frame header +
+  /// body prefix) and an optional payload view written as a second
+  /// segment — the payload bytes are never appended into `head`.
+  struct OutFrame {
+    Bytes head;
+    PayloadBuffer payload;
+    std::size_t offset = 0;  // bytes of head+payload already written
+    std::size_t size() const { return head.size() + payload.size(); }
+  };
+
+  struct Connection {
+    explicit Connection(int fd_in, std::size_t max_body)
+        : fd(fd_in), assembler(max_body) {}
+    int fd;
+    FrameAssembler assembler;
+    std::deque<OutFrame> write_queue;
+    std::size_t queued_bytes = 0;
+    bool reads_paused = false;
+    bool closed = false;
+    std::uint64_t inflight = 0;  // pool-dispatched ops not yet completed
+  };
+  using ConnPtr = std::shared_ptr<Connection>;
+
+  void on_accept();
+  void on_connection_event(const ConnPtr& conn, std::uint32_t events);
+  void on_readable(const ConnPtr& conn);
+  void handle_frame(const ConnPtr& conn, Frame frame);
+  /// Executes one op against the fabric; returns the response.
+  OutFrame execute(const FrameHeader& header, const PayloadBuffer& body);
+  OutFrame error_response(const FrameHeader& req, const Status& status);
+  void enqueue_response(const ConnPtr& conn, OutFrame frame);
+  void flush_writes(const ConnPtr& conn);
+  void update_read_interest(const ConnPtr& conn);
+  void close_connection(const ConnPtr& conn);
+  static Bytes make_head(const FrameHeader& req_header, const Status& status,
+                         const Bytes& body_prefix,
+                         std::size_t payload_bytes);
+
+  ServerOptions options_;
+  staging::ThreadFabric fabric_;
+  EventLoop loop_;
+  OwnedFd listen_fd_;
+  std::uint16_t bound_port_ = 0;
+  std::thread loop_thread_;
+  std::atomic<bool> running_{false};
+  std::unordered_map<int, ConnPtr> connections_;  // loop thread only
+
+  mutable std::atomic<std::uint64_t> accepted_{0};
+  mutable std::atomic<std::uint64_t> active_{0};
+  mutable std::atomic<std::uint64_t> frames_in_{0};
+  mutable std::atomic<std::uint64_t> frames_out_{0};
+  mutable std::atomic<std::uint64_t> bytes_in_{0};
+  mutable std::atomic<std::uint64_t> bytes_out_{0};
+  mutable std::atomic<std::uint64_t> protocol_errors_{0};
+  mutable std::atomic<std::uint64_t> backpressure_pauses_{0};
+  mutable std::atomic<std::uint64_t> injected_failures_{0};
+};
+
+}  // namespace corec::rpc

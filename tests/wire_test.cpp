@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 namespace corec::staging {
 namespace {
 
@@ -291,6 +293,86 @@ TEST(Wire, SnapshotDecodeSurvivesBitFlipSweep) {
       (void)st;  // reaching here without UB/crash is the assertion
     }
   }
+}
+
+// ---- hardened BufferReader paths (network-facing decode) -----------------
+
+TEST(Wire, ReaderRejectsOverflowingBlobLength) {
+  // A declared length near 2^64 used to wrap `pos_ + n` back into
+  // range; the overflow-safe check must reject it before allocating.
+  Bytes buf;
+  BufferWriter w(&buf);
+  w.put<std::uint64_t>(std::numeric_limits<std::uint64_t>::max() - 4);
+  buf.push_back(0xAB);  // a few real bytes after the hostile prefix
+  buf.push_back(0xCD);
+  BufferReader r(buf);
+  Bytes out;
+  Status st = r.get_bytes(&out);
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(Wire, ReaderRejectsBlobAboveConfiguredMax) {
+  Bytes buf;
+  BufferWriter w(&buf);
+  w.put_bytes(Bytes(512, 0x5A));  // well-formed 512-byte blob
+  BufferReader tight(buf, /*max_blob=*/128);
+  Bytes out;
+  Status st = tight.get_bytes(&out);
+  EXPECT_FALSE(st.ok()) << "blob above the reader's max must be rejected";
+  // The same bytes decode fine with a roomier ceiling.
+  BufferReader roomy(buf, /*max_blob=*/1024);
+  ASSERT_TRUE(roomy.get_bytes(&out).ok());
+  EXPECT_EQ(out.size(), 512u);
+}
+
+TEST(Wire, ReaderRejectsStringAboveConfiguredMax) {
+  Bytes buf;
+  BufferWriter w(&buf);
+  w.put_string(std::string(64, 'x'));
+  BufferReader tight(buf, /*max_blob=*/16);
+  std::string out;
+  EXPECT_FALSE(tight.get_string(&out).ok());
+}
+
+TEST(Wire, ReaderBlobLengthSweepNeverOverallocates) {
+  // Fuzz-ish: sweep every u64 length prefix with a handful of trailing
+  // bytes. All oversized declarations must fail cleanly; only lengths
+  // <= trailing bytes may succeed.
+  const Bytes tail = {1, 2, 3, 4, 5, 6, 7};
+  for (std::uint64_t declared :
+       {std::uint64_t{0}, std::uint64_t{3}, std::uint64_t{7},
+        std::uint64_t{8}, std::uint64_t{4096},
+        std::uint64_t{1} << 32, std::uint64_t{1} << 63,
+        std::numeric_limits<std::uint64_t>::max() - 7,
+        std::numeric_limits<std::uint64_t>::max()}) {
+    Bytes buf;
+    BufferWriter w(&buf);
+    w.put<std::uint64_t>(declared);
+    buf.insert(buf.end(), tail.begin(), tail.end());
+    BufferReader r(buf);
+    Bytes out;
+    Status st = r.get_bytes(&out);
+    if (declared <= tail.size()) {
+      EXPECT_TRUE(st.ok()) << "declared " << declared;
+      EXPECT_EQ(out.size(), declared);
+    } else {
+      EXPECT_FALSE(st.ok()) << "declared " << declared;
+    }
+  }
+}
+
+TEST(Wire, ReaderPodUnderrunIsOverflowSafe) {
+  // get<T> near the end of the buffer must fail, not wrap.
+  Bytes buf = {0x01, 0x02, 0x03};
+  BufferReader r(buf);
+  std::uint64_t v = 0;
+  EXPECT_FALSE(r.get(&v).ok());
+  std::uint16_t s = 0;
+  ASSERT_TRUE(r.get(&s).ok());  // 2 of 3 bytes
+  std::uint16_t s2 = 0;
+  EXPECT_FALSE(r.get(&s2).ok());  // only 1 byte left
 }
 
 }  // namespace

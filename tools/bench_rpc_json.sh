@@ -1,0 +1,69 @@
+#!/usr/bin/env sh
+# Benchmarks the real network serving path: starts corec-server on an
+# ephemeral loopback port, then drives it with the multi-process
+# open-loop load generator (micro_rpc) for three op mixes — put-heavy,
+# get-heavy, and 50/50 — at 4 client processes each. Each run records
+# end-to-end throughput and p50/p95/p99 latency over TCP, so RPC-path
+# regressions (framing, event loop, dispatch, zero-copy handoff) are
+# visible PR over PR in one machine-readable file.
+#
+# Usage: bench_rpc_json.sh <micro_rpc-binary> <corec-server-binary> [out.json]
+set -eu
+
+MICRO_RPC=${1:?usage: bench_rpc_json.sh micro_rpc corec-server [out.json]}
+SERVER=${2:?usage: bench_rpc_json.sh micro_rpc corec-server [out.json]}
+OUT=${3:-BENCH_rpc.json}
+
+CLIENTS=${BENCH_RPC_CLIENTS:-4}
+SECONDS_PER_MIX=${BENCH_RPC_SECONDS:-2}
+VALUE_BYTES=${BENCH_RPC_BYTES:-4096}
+
+TMPDIR_JSON=$(mktemp -d)
+SERVER_PID=
+cleanup() {
+  [ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null || true
+  [ -n "$SERVER_PID" ] && wait "$SERVER_PID" 2>/dev/null || true
+  rm -rf "$TMPDIR_JSON"
+}
+trap cleanup EXIT
+
+"$SERVER" --port 0 --servers 4 --workers 2 --pool-dispatch \
+  > "$TMPDIR_JSON/server.log" 2>&1 &
+SERVER_PID=$!
+
+# The server prints "corec-server listening on 127.0.0.1:PORT (...)"
+# once the socket is bound; poll for it rather than racing the bind.
+PORT=
+i=0
+while [ $i -lt 100 ]; do
+  PORT=$(sed -n 's/.*listening on [0-9.]*:\([0-9]*\).*/\1/p' \
+    "$TMPDIR_JSON/server.log" | head -n 1)
+  [ -n "$PORT" ] && break
+  kill -0 "$SERVER_PID" 2>/dev/null || {
+    echo "corec-server exited before binding:" >&2
+    cat "$TMPDIR_JSON/server.log" >&2
+    exit 1
+  }
+  sleep 0.1
+  i=$((i + 1))
+done
+[ -n "$PORT" ] || { echo "failed to scrape server port" >&2; exit 1; }
+echo "corec-server up on port $PORT (pid $SERVER_PID)"
+
+for MIX in put get mixed; do
+  echo "running mix=$MIX clients=$CLIENTS seconds=$SECONDS_PER_MIX ..."
+  "$MICRO_RPC" --port "$PORT" --clients "$CLIENTS" \
+    --seconds "$SECONDS_PER_MIX" --bytes "$VALUE_BYTES" --mix "$MIX" \
+    > "$TMPDIR_JSON/$MIX.json"
+done
+
+{
+  printf '{\n"bench": "rpc_loopback",\n'
+  printf '"transport": "tcp length-prefixed frames, 4 server shards, pool dispatch",\n'
+  printf '"put": %s,\n' "$(cat "$TMPDIR_JSON/put.json")"
+  printf '"get": %s,\n' "$(cat "$TMPDIR_JSON/get.json")"
+  printf '"mixed": %s\n' "$(cat "$TMPDIR_JSON/mixed.json")"
+  printf '}\n'
+} > "$OUT"
+
+echo "wrote $OUT"

@@ -19,9 +19,15 @@
 #include <thread>
 #include <vector>
 
+#include <csignal>
+
+#include <poll.h>
+
 #include "common/buffer.hpp"
 #include "common/failpoint.hpp"
 #include "common/rng.hpp"
+#include "rpc/client.hpp"
+#include "rpc/server.hpp"
 #include "staging/thread_fabric.hpp"
 #include "core/corec_scheme.hpp"
 #include "meta/meta_client.hpp"
@@ -67,6 +73,11 @@ struct CliOptions {
   // Real-thread fabric exercise: 0 = run the virtual-time simulator
   // (default); N > 0 drives a ThreadFabric from N client threads.
   std::size_t threads = 0;
+  // Network modes: --serve runs an RPC server until signalled
+  // (-1 = off; 0 = kernel-assigned port), --connect drives a smoke
+  // workload against HOST:PORT as an RPC client.
+  int serve_port = -1;
+  std::string connect_addr;
 };
 
 void usage() {
@@ -104,6 +115,12 @@ void usage() {
       "                      ThreadFabric (sharded stores + entity-\n"
       "                      sharded directory) from N client threads\n"
       "                      with byte verification of every read\n"
+      "  --serve PORT        skip the simulator; serve the ThreadFabric\n"
+      "                      over TCP RPC on PORT (0 = kernel-assigned)\n"
+      "                      until SIGINT/SIGTERM\n"
+      "  --connect H:P       skip the simulator; run a byte-verified\n"
+      "                      put/get/query/erase smoke workload against\n"
+      "                      a corec-server at HOST:PORT\n"
       "  --seed N            RNG seed\n"
       "  --verify            real payloads + byte verification\n"
       "  --calibrate         measure this machine's GF kernel encode\n"
@@ -170,6 +187,10 @@ bool parse_args(int argc, char** argv, CliOptions* cli) {
       cli->floor = std::atof(next());
     } else if (a == "--threads") {
       cli->threads = static_cast<std::size_t>(std::atol(next()));
+    } else if (a == "--serve") {
+      cli->serve_port = std::atoi(next());
+    } else if (a == "--connect") {
+      cli->connect_addr = next();
     } else if (a == "--seed") {
       cli->seed = std::strtoull(next(), nullptr, 10);
     } else if (a == "--failpoints") {
@@ -382,6 +403,105 @@ int run_fabric_exercise(const CliOptions& cli) {
   return bad == 0 ? 0 : 1;
 }
 
+volatile std::sig_atomic_t g_serve_stop = 0;
+
+// --serve mode: front a ThreadFabric with the RPC event loop so the
+// sim binary doubles as a smoke server for the client modes below.
+int run_serve(const CliOptions& cli) {
+  rpc::ServerOptions options;
+  options.port = static_cast<std::uint16_t>(cli.serve_port);
+  options.num_servers = cli.servers;
+  rpc::Server server(options);
+  Status st = server.start();
+  if (!st.ok()) {
+    std::fprintf(stderr, "--serve: %s\n", st.to_string().c_str());
+    return 1;
+  }
+  std::printf("corec-sim serving on %s:%u (%zu servers)\n",
+              server.host().c_str(), server.port(), cli.servers);
+  std::fflush(stdout);
+  std::signal(SIGINT, [](int) { g_serve_stop = 1; });
+  std::signal(SIGTERM, [](int) { g_serve_stop = 1; });
+  while (!g_serve_stop) ::poll(nullptr, 0, 200);
+  const auto stats = server.stats();
+  server.stop();
+  std::printf("served %llu frames over %llu connections\n",
+              static_cast<unsigned long long>(stats.frames_in),
+              static_cast<unsigned long long>(stats.accepted));
+  return 0;
+}
+
+// --connect mode: byte-verified put/get/query/erase smoke workload
+// against a remote corec-server. Returns nonzero on any mismatch.
+int run_connect(const CliOptions& cli) {
+  const auto colon = cli.connect_addr.rfind(':');
+  if (colon == std::string::npos) {
+    std::fprintf(stderr, "--connect expects HOST:PORT\n");
+    return 2;
+  }
+  rpc::ClientOptions options;
+  options.host = cli.connect_addr.substr(0, colon);
+  options.port = static_cast<std::uint16_t>(
+      std::atoi(cli.connect_addr.c_str() + colon + 1));
+  rpc::Client client(options);
+
+  Status st = client.ping();
+  if (!st.ok()) {
+    std::fprintf(stderr, "--connect: ping failed: %s\n",
+                 st.to_string().c_str());
+    return 1;
+  }
+
+  constexpr int kObjects = 64;
+  constexpr std::size_t kPayloadBytes = 4096;
+  const auto var = static_cast<VarId>(4242);
+  Rng rng(cli.seed, 0xc0ec);
+  std::uint64_t mismatches = 0;
+  auto desc_of = [&](int i) {
+    return staging::ObjectDescriptor{
+        var, 1, geom::BoundingBox::line(i * 8, i * 8 + 7),
+        staging::kWholeObject};
+  };
+  std::vector<Bytes> payloads;
+  payloads.reserve(kObjects);
+  for (int i = 0; i < kObjects; ++i) {
+    Bytes b(kPayloadBytes);
+    for (auto& byte : b) {
+      byte = static_cast<std::uint8_t>(rng.uniform(256));
+    }
+    payloads.push_back(std::move(b));
+    st = client.put(desc_of(i), PayloadBuffer::copy_of(payloads.back()));
+    if (!st.ok()) ++mismatches;
+  }
+  for (int i = 0; i < kObjects; ++i) {
+    auto got = client.get(desc_of(i));
+    if (!got.ok() || !(got->payload == payloads[i])) ++mismatches;
+  }
+  auto found = client.query(var, 1,
+                            geom::BoundingBox::line(0, kObjects * 8 - 1));
+  if (!found.ok() || found->size() != kObjects) ++mismatches;
+  for (int i = 0; i < kObjects; ++i) {
+    auto removed = client.erase(desc_of(i));
+    if (!removed.ok() || !*removed) ++mismatches;
+    if (client.get(desc_of(i)).ok()) ++mismatches;
+  }
+  auto remote = client.stat();
+  std::printf("connect smoke   : %d objects x %zu B against %s\n",
+              kObjects, kPayloadBytes, cli.connect_addr.c_str());
+  if (remote.ok()) {
+    std::printf("remote fabric   : %llu servers, %llu puts, %llu gets, "
+                "%llu erases\n",
+                static_cast<unsigned long long>(remote->num_servers),
+                static_cast<unsigned long long>(remote->fabric.puts),
+                static_cast<unsigned long long>(remote->fabric.gets),
+                static_cast<unsigned long long>(remote->fabric.erases));
+  }
+  std::printf("verification    : %s (%llu mismatches)\n",
+              mismatches == 0 ? "all reads byte-exact" : "MISMATCH",
+              static_cast<unsigned long long>(mismatches));
+  return mismatches == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -391,6 +511,17 @@ int main(int argc, char** argv) {
     return 2;
   }
   if (cli.threads > 0) return run_fabric_exercise(cli);
+  if (!cli.failpoints.empty() &&
+      (cli.serve_port >= 0 || !cli.connect_addr.empty())) {
+    Status st = failpoint::registry().arm_from_string(cli.failpoints);
+    if (!st.ok()) {
+      std::fprintf(stderr, "--failpoints: %s\n", st.message().c_str());
+      return 2;
+    }
+    cli.failpoints.clear();
+  }
+  if (cli.serve_port >= 0) return run_serve(cli);
+  if (!cli.connect_addr.empty()) return run_connect(cli);
   if (!cli.failpoints.empty()) {
     Status st = failpoint::registry().arm_from_string(cli.failpoints);
     if (!st.ok()) {

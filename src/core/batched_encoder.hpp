@@ -1,7 +1,7 @@
 // Batched, pipelined replica→EC encoder. CorecScheme with
-// `batch_transitions` enqueues cold demotions here instead of running
-// one token round-trip per object; end_of_step drains the queue in
-// multi-stripe batches:
+// `transitions == TransitionStrategy::kBatched` enqueues cold demotions
+// here instead of running one token round-trip per object; end_of_step
+// drains the queue in multi-stripe batches:
 //
 //   * the queue is bucketed by encoding-token group, and each batch
 //     holds its group's token exactly once — 64 queued objects cost a

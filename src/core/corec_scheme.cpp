@@ -26,9 +26,13 @@ void CorecScheme::bind(staging::StagingService* service) {
   ResilienceScheme::bind(service);
   workflow_ = std::make_unique<EncodingWorkflow>(
       service, options_.n_level + 1, options_.workflow);
-  if (options_.batch_transitions) {
+  if (options_.transitions == TransitionStrategy::kBatched) {
     batch_encoder_ = std::make_unique<BatchedEncoder>(
         service, workflow_.get(), options_.k, options_.m, options_.batch);
+  } else if (options_.transitions == TransitionStrategy::kPipelined) {
+    pipelined_encoder_ = std::make_unique<PipelinedEncoder>(
+        service, workflow_.get(), options_.k, options_.m,
+        options_.pipeline);
   }
   recovery_ = std::make_unique<RecoveryManager>(service, options_.recovery);
 }
@@ -47,12 +51,17 @@ bool CorecScheme::fits_floor(std::ptrdiff_t extra_stored,
       static_cast<double>(extra_logical);
   double stored = static_cast<double>(service_->stored_bytes()) +
                   static_cast<double>(extra_stored);
-  // Queued batch transitions were already retired from the stores but
-  // their stripes have not landed yet; count those future bytes so the
-  // sweep does not over-demote between enqueue and drain.
+  // Queued transitions (batched or pipelined) were already retired from
+  // the stores but their stripes have not landed yet; count those
+  // future bytes so the sweep does not over-demote between enqueue and
+  // drain.
   if (batch_encoder_ != nullptr) {
     stored +=
         static_cast<double>(batch_encoder_->pending_encoded_bytes());
+  }
+  if (pipelined_encoder_ != nullptr) {
+    stored +=
+        static_cast<double>(pipelined_encoder_->pending_encoded_bytes());
   }
   if (stored <= 0.0) return true;
   return logical / stored >= options_.efficiency_floor;
@@ -298,6 +307,11 @@ void CorecScheme::demote(const ObjectDescriptor& desc, SimTime now) {
     // Queue the transition; the sweep drains each group's queue in
     // multi-stripe batches under a single token hold.
     batch_encoder_->enqueue(std::move(obj), primary, std::move(holders));
+  } else if (pipelined_encoder_ != nullptr) {
+    // Queue the transition; the sweep runs each stripe's parity
+    // accumulation along the ring of its replica holders.
+    pipelined_encoder_->enqueue(std::move(obj), primary,
+                                std::move(holders));
   } else {
     encode_via_workflow(obj, primary, holders, holders, now,
                         &stats_.background);
@@ -352,11 +366,15 @@ void CorecScheme::end_of_step(Version step, SimTime now) {
   pending.swap(pending_demotions_);
   for (const auto& desc : pending) demote(desc, now);
 
-  // Batched mode: the write-path transitions above only queued; drain
-  // them now, in multi-stripe batches per token group.
+  // Batched/pipelined mode: the write-path transitions above only
+  // queued; drain them now (multi-stripe batches per token group, or
+  // one holder ring per stripe).
   auto drain_batches = [this, now] {
     if (batch_encoder_ != nullptr && !batch_encoder_->empty()) {
       batch_encoder_->drain(now, &stats_.background);
+    }
+    if (pipelined_encoder_ != nullptr && !pipelined_encoder_->empty()) {
+      pipelined_encoder_->drain(now, &stats_.background);
     }
   };
   drain_batches();

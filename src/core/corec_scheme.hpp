@@ -5,8 +5,14 @@
 //   * AccessClassifier        — online hot/cold classification;
 //   * replicated "pool"       — the set of currently replicated
 //                               entities, bounded by S;
-//   * EncodingWorkflow        — load-balanced, token-serialized
+//   * EncodingWorkflow        — conflict-avoiding encoder selection and
+//                               per-group token serialization for
 //                               replica->stripe transitions;
+//   * transition strategies   — token-serial (one workflow round-trip
+//                               per object), BatchedEncoder (multi-
+//                               stripe batches per token hold), or
+//                               PipelinedEncoder (RapidRAID-style ring
+//                               across the replica holders);
 //   * RecoveryManager         — lazy (or aggressive) repair.
 #pragma once
 
@@ -19,10 +25,27 @@
 #include "core/batched_encoder.hpp"
 #include "core/classifier.hpp"
 #include "core/encoding_workflow.hpp"
+#include "core/pipelined_encoder.hpp"
 #include "core/recovery.hpp"
 #include "staging/scheme.hpp"
 
 namespace corec::core {
+
+/// How cold demotions (replica→EC transitions) are executed.
+enum class TransitionStrategy {
+  /// One workflow round-trip per object: pick encoder, acquire the
+  /// group token, encode + place, release. Simplest; one token
+  /// acquire per object and all parity computed on one node.
+  kTokenSerial,
+  /// BatchedEncoder: transitions queue and drain in multi-stripe
+  /// batches — one token hold per batch, stripe prep fanned over a
+  /// thread pool, CRC verify pipelined behind encode.
+  kBatched,
+  /// PipelinedEncoder: each stripe's parity is accumulated along a
+  /// ring of the replica holders (partial-parity hops), spreading
+  /// encode CPU and wire bytes across the group.
+  kPipelined,
+};
 
 /// Full CoREC configuration.
 struct CorecOptions {
@@ -39,11 +62,10 @@ struct CorecOptions {
   RecoveryOptions recovery;
   /// Cap on background promotions per end-of-step sweep.
   std::size_t max_promotions_per_step = 64;
-  /// Drain cold transitions through the BatchedEncoder (multi-stripe
-  /// batches, one token hold per batch, verify/encode pipelining)
-  /// instead of one workflow round-trip per object.
-  bool batch_transitions = false;
-  BatchOptions batch;
+  /// Transition execution strategy (see TransitionStrategy).
+  TransitionStrategy transitions = TransitionStrategy::kTokenSerial;
+  BatchOptions batch;        // kBatched knobs
+  PipelineOptions pipeline;  // kPipelined knobs
 };
 
 /// Counters exposed for the breakdown/ablation benches.
@@ -78,9 +100,13 @@ class CorecScheme final : public staging::ResilienceScheme {
   const AccessClassifier& classifier() const { return classifier_; }
   const EncodingWorkflow& workflow() const { return *workflow_; }
   const CorecOptions& corec_options() const { return options_; }
-  /// Non-null when batch_transitions is enabled.
+  /// Non-null when transitions == kBatched.
   const BatchedEncoder* batch_encoder() const {
     return batch_encoder_.get();
+  }
+  /// Non-null when transitions == kPipelined.
+  const PipelinedEncoder* pipelined_encoder() const {
+    return pipelined_encoder_.get();
   }
 
   /// Current storage efficiency as the scheme tracks it.
@@ -116,6 +142,7 @@ class CorecScheme final : public staging::ResilienceScheme {
   AccessClassifier classifier_;
   std::unique_ptr<EncodingWorkflow> workflow_;
   std::unique_ptr<BatchedEncoder> batch_encoder_;
+  std::unique_ptr<PipelinedEncoder> pipelined_encoder_;
   std::unique_ptr<RecoveryManager> recovery_;
   CorecStats stats_;
   std::size_t logical_total_ = 0;

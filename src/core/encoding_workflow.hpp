@@ -1,10 +1,16 @@
 // The load-balancing & conflict-avoiding encoding workflow (Section
-// III-B). Each replication group shares one *encoding token*: only the
-// token holder may run an encode, so exactly one stripe instance is
-// produced per object and concurrent encodes within a group serialize.
-// The workload-measurement component picks the group member with the
-// smallest service backlog as the encoder (the "helper server" path),
-// keeping encode CPU time away from servers busy with client traffic.
+// III-B). Each replication group shares one *encoding token*: a
+// replica->EC transition runs only under the token, so exactly one
+// stripe instance is produced per object and concurrent transitions
+// within a group serialize. The token holder need not be a single
+// central encoder — the token-serial path encodes on one least-loaded
+// holder, the batched encoder holds the token once per multi-stripe
+// batch, and the ring-pipelined encoder keeps it held while parity
+// accumulates across every holder (see corec_scheme.hpp's
+// TransitionStrategy). The workload-measurement component picks the
+// group member with the smallest service backlog as the encoder (the
+// "helper server" path), keeping encode CPU time away from servers
+// busy with client traffic.
 #pragma once
 
 #include <cstddef>

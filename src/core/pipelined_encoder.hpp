@@ -1,0 +1,122 @@
+// Pipelined decentralized replica→EC encoder (RapidRAID-style ring).
+// Instead of electing one encoder that computes every parity row, each
+// queued transition runs along a ring of the object's replica holders:
+// hop j folds the generator-coefficient contributions of its contiguous
+// chunk run into the m partial-parity buffers with the fused
+// region_mul_add_multi kernels (Codec::encode_partial_view) and forwards
+// the accumulated parity to hop j+1. GF(2^8) addition is XOR, so the
+// composed partial passes are byte-identical to one centralized
+// encode_view — and because each hop also distributes its own data
+// chunks, no node ever moves more than its chunk run plus the in-flight
+// parity frame (~(k/H + m)·chunk vs (k+m-1)·chunk centralized).
+//
+// Failure handling: each parity frame carries a CRC; a hop that
+// receives a frame whose bytes no longer match (pipeline.hop
+// corrupt_partial failpoint) aborts the ring, as does a mid-ring node
+// kill. Nothing has been stored at that point — shard placement runs
+// only after the full ring completes — so the fallback simply re-runs
+// the centralized place_encoded from a surviving holder under the same
+// token hold. Directory outcomes are identical across all strategies
+// (shared stripe_layout/store_stripe_shard/register_encoded helpers).
+//
+// Floor accounting matches BatchedEncoder: queued transitions were
+// already retired, so CorecScheme counts pending_encoded_bytes().
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+#include "core/encoding_workflow.hpp"
+#include "staging/object.hpp"
+#include "staging/request.hpp"
+#include "staging/service.hpp"
+
+namespace corec::core {
+
+/// Ring shaping knobs.
+struct PipelineOptions {
+  /// Upper bound on ring length (number of hops). 0 = use every live
+  /// holder. The ring never exceeds min(holders, k): with more hops
+  /// than data chunks some hops would have an empty coefficient run.
+  std::size_t max_hops = 0;
+};
+
+/// Drain telemetry. Per-node maxima are folded across every ring the
+/// encoder has run — the "no single hot node" proof the benchmarks and
+/// BENCH_staging.json report.
+struct PipelineStats {
+  std::uint64_t objects = 0;        // transitions encoded (incl. fallback)
+  std::uint64_t ring_encodes = 0;   // rings that completed cleanly
+  std::uint64_t fallbacks = 0;      // rings aborted → centralized encode
+  std::uint64_t corrupt_partials = 0;  // parity frames failing CRC check
+  std::uint64_t verify_skipped_corrupt = 0;  // sources dropped at verify
+  std::uint64_t token_acquires = 0;
+  std::uint64_t payload_bytes = 0;  // logical bytes transitioned
+  std::uint64_t hops = 0;           // total ring hops executed
+  /// Largest number of bytes any single node pushed onto the wire for
+  /// ring encodes (partial-parity forwards + shard distribution).
+  std::uint64_t max_node_bytes_moved = 0;
+  /// Largest per-node encode CPU time across ring encodes.
+  SimTime max_node_cpu = 0;
+};
+
+/// Ring-pipelined transition drain for one CorecScheme instance. Not
+/// thread-safe: enqueue/drain run on the simulation thread. Sibling
+/// strategy to BatchedEncoder; selected via
+/// CorecOptions::transitions == TransitionStrategy::kPipelined.
+class PipelinedEncoder {
+ public:
+  PipelinedEncoder(staging::StagingService* service,
+                   EncodingWorkflow* workflow, std::size_t k, std::size_t m,
+                   const PipelineOptions& options);
+
+  /// Queues one replica→EC transition. `holders` are the live servers
+  /// already holding the full payload (primary first); they become the
+  /// ring. The caller has already retired the old representation — the
+  /// bytes live on only in `obj`'s buffer view.
+  void enqueue(staging::DataObject obj, ServerId primary,
+               std::vector<ServerId> holders);
+
+  bool empty() const { return queue_.empty(); }
+  std::size_t queued() const { return queue_.size(); }
+
+  /// Stored bytes the queued stripes will occupy once drained
+  /// (chunk_size * (k + m) per object) — the floor-accounting term.
+  std::size_t pending_encoded_bytes() const {
+    return pending_encoded_bytes_;
+  }
+
+  /// Runs every queued transition through its ring (or the centralized
+  /// fallback). Returns the durable time of the last stripe placed
+  /// (`now` when idle).
+  SimTime drain(SimTime now, staging::Breakdown* bd);
+
+  const PipelineStats& stats() const { return stats_; }
+
+ private:
+  struct Pending {
+    staging::DataObject obj;
+    ServerId primary = kInvalidServer;
+    std::vector<ServerId> holders;
+  };
+
+  /// Stored stripe footprint of one queued object.
+  std::size_t encoded_footprint(std::size_t logical) const;
+
+  /// One transition end to end: ring encode, or centralized fallback
+  /// when the ring aborts. Returns the durable time.
+  SimTime encode_one(Pending& p, SimTime now, staging::Breakdown* bd);
+
+  staging::StagingService* service_;
+  EncodingWorkflow* workflow_;
+  std::size_t k_;
+  std::size_t m_;
+  PipelineOptions options_;
+  std::vector<Pending> queue_;
+  std::size_t pending_encoded_bytes_ = 0;
+  PipelineStats stats_;
+};
+
+}  // namespace corec::core

@@ -151,16 +151,9 @@ StripePayload make_stripe_payload(const erasure::Codec& codec,
   return stripe;
 }
 
-SimTime place_encoded(StagingService& service, const DataObject& obj,
-                      ServerId primary, std::size_t k, std::size_t m,
-                      ServerId encoder, SimTime start, Breakdown* bd,
-                      SimTime* encode_done, const StripePayload* pre) {
-  const auto& cost = service.cost();
-  const std::size_t n = k + m;
-  const std::size_t chunk_size =
-      (obj.logical_size + k - 1) / std::max<std::size_t>(k, 1);
-
-  // Stripe layout: coding-group members with the primary in slot 0.
+std::vector<ServerId> stripe_layout(StagingService& service,
+                                    ServerId primary, std::size_t n) {
+  // Coding-group members with the primary in slot 0.
   std::vector<ServerId> stripe = ring_group_from(service, primary, n);
   // Undersized trailing group: extend along the ring (distinct servers).
   for (std::size_t step = 1;
@@ -172,6 +165,85 @@ SimTime place_encoded(StagingService& service, const DataObject& obj,
   }
   stripe.resize(std::min(stripe.size(), n));
   assert(stripe.size() == n && "cluster smaller than stripe width");
+  return stripe;
+}
+
+void store_stripe_shard(StagingService& service, const DataObject& obj,
+                        const StripePayload* sp, std::size_t i,
+                        std::size_t k, std::size_t chunk_size,
+                        ServerId target, std::vector<std::uint32_t>* crcs) {
+  auto shard_desc = obj.desc.shard_of(static_cast<ShardIndex>(1 + i));
+  DataObject shard;
+  if (obj.phantom) {
+    shard = DataObject::make_phantom(shard_desc, chunk_size);
+  } else {
+    // Refcount bump on the stripe's shard view, no byte copy.
+    shard = sp->shards[i];
+    // Record the CRC of what *should* land; the torn-write and
+    // bit-flip failpoints below corrupt the stored copy after this,
+    // which is exactly the mismatch read-side verification catches.
+    (*crcs)[i] = shard.checksum;
+  }
+  if (auto fp = COREC_FAILPOINT("staging.shard.crash_target");
+      fp && service.num_alive() > 1) {
+    service.kill_server(target);
+  }
+  if (!service.alive(target)) return;
+  if (!obj.phantom) {
+    if (auto fp = COREC_FAILPOINT("staging.shard.torn_write")) {
+      std::size_t keep =
+          fp.arg != 0 ? std::min<std::size_t>(fp.arg, shard.data.size())
+                      : shard.data.size() / 2;
+      // A truncated prefix view: the stored bytes no longer match
+      // the recorded CRC. logical_size (and byte accounting) keeps
+      // the full chunk, as with an in-place truncation.
+      shard.data = shard.data.prefix(keep);
+    }
+  }
+  Status sst = service.store_at(target, std::move(shard),
+                                i < k ? StoredKind::kDataChunk
+                                      : StoredKind::kParity);
+  assert(sst.ok());
+  (void)sst;
+  if (!obj.phantom) {
+    if (auto fp = COREC_FAILPOINT("staging.shard.bitflip")) {
+      service.corrupt_at(target, shard_desc,
+                         static_cast<std::size_t>(fp.rng));
+    }
+  }
+}
+
+SimTime register_encoded(StagingService& service, const DataObject& obj,
+                         ServerId primary, std::vector<ServerId> stripe,
+                         std::size_t k, std::size_t m,
+                         std::size_t chunk_size,
+                         std::vector<std::uint32_t> shard_crcs,
+                         SimTime durable, Breakdown* bd) {
+  ObjectLocation loc;
+  loc.primary = primary;
+  loc.protection = Protection::kEncoded;
+  loc.stripe_servers = std::move(stripe);
+  loc.k = static_cast<std::uint32_t>(k);
+  loc.m = static_cast<std::uint32_t>(m);
+  loc.chunk_size = chunk_size;
+  loc.logical_size = obj.logical_size;
+  loc.object_checksum = obj.phantom ? 0 : obj.checksum;
+  loc.shard_checksums = std::move(shard_crcs);
+  SimTime meta_ack = service.directory().upsert(obj.desc, loc);
+  bd->metadata += service.cost().metadata_op;
+  return std::max(durable + service.cost().metadata_op, meta_ack);
+}
+
+SimTime place_encoded(StagingService& service, const DataObject& obj,
+                      ServerId primary, std::size_t k, std::size_t m,
+                      ServerId encoder, SimTime start, Breakdown* bd,
+                      SimTime* encode_done, const StripePayload* pre) {
+  const auto& cost = service.cost();
+  const std::size_t n = k + m;
+  const std::size_t chunk_size =
+      (obj.logical_size + k - 1) / std::max<std::size_t>(k, 1);
+
+  std::vector<ServerId> stripe = stripe_layout(service, primary, n);
 
   // Encode on `encoder` (primary, or the helper chosen by the
   // conflict-avoiding workflow).
@@ -201,47 +273,8 @@ SimTime place_encoded(StagingService& service, const DataObject& obj,
   std::size_t sent = 0;
   for (std::size_t i = 0; i < n; ++i) {
     ServerId target = stripe[i];
-    auto shard_desc =
-        obj.desc.shard_of(static_cast<ShardIndex>(1 + i));
-    DataObject shard;
-    if (obj.phantom) {
-      shard = DataObject::make_phantom(shard_desc, chunk_size);
-    } else {
-      // Refcount bump on the stripe's shard view, no byte copy.
-      shard = sp->shards[i];
-      // Record the CRC of what *should* land; the torn-write and
-      // bit-flip failpoints below corrupt the stored copy after this,
-      // which is exactly the mismatch read-side verification catches.
-      shard_crcs[i] = shard.checksum;
-    }
-    if (auto fp = COREC_FAILPOINT("staging.shard.crash_target");
-        fp && service.num_alive() > 1) {
-      service.kill_server(target);
-    }
-    if (service.alive(target)) {
-      if (!obj.phantom) {
-        if (auto fp = COREC_FAILPOINT("staging.shard.torn_write")) {
-          std::size_t keep =
-              fp.arg != 0 ? std::min<std::size_t>(fp.arg, shard.data.size())
-                          : shard.data.size() / 2;
-          // A truncated prefix view: the stored bytes no longer match
-          // the recorded CRC. logical_size (and byte accounting) keeps
-          // the full chunk, as with an in-place truncation.
-          shard.data = shard.data.prefix(keep);
-        }
-      }
-      Status sst = service.store_at(target, std::move(shard),
-                                    i < k ? StoredKind::kDataChunk
-                                          : StoredKind::kParity);
-      assert(sst.ok());
-      (void)sst;
-      if (!obj.phantom) {
-        if (auto fp = COREC_FAILPOINT("staging.shard.bitflip")) {
-          service.corrupt_at(target, shard_desc,
-                             static_cast<std::size_t>(fp.rng));
-        }
-      }
-    }
+    store_stripe_shard(service, obj, sp, i, k, chunk_size, target,
+                       &shard_crcs);
 
     SimTime arrival = t_enc;
     if (target != encoder) {
@@ -259,19 +292,8 @@ SimTime place_encoded(StagingService& service, const DataObject& obj,
                        service.serve_at(target, arrival, service_time));
   }
 
-  ObjectLocation loc;
-  loc.primary = primary;
-  loc.protection = Protection::kEncoded;
-  loc.stripe_servers = std::move(stripe);
-  loc.k = static_cast<std::uint32_t>(k);
-  loc.m = static_cast<std::uint32_t>(m);
-  loc.chunk_size = chunk_size;
-  loc.logical_size = obj.logical_size;
-  loc.object_checksum = obj.phantom ? 0 : obj.checksum;
-  loc.shard_checksums = std::move(shard_crcs);
-  SimTime meta_ack = service.directory().upsert(obj.desc, loc);
-  bd->metadata += cost.metadata_op;
-  return std::max(durable + cost.metadata_op, meta_ack);
+  return register_encoded(service, obj, primary, std::move(stripe), k, m,
+                          chunk_size, std::move(shard_crcs), durable, bd);
 }
 
 SimTime charge_stripe_peer_reads(StagingService& service,

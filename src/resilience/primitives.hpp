@@ -46,6 +46,36 @@ SimTime place_replicated(staging::StagingService& service,
                          std::size_t n_replicas, SimTime arrived,
                          staging::Breakdown* bd);
 
+/// Stripe layout for `primary`'s coding group: n distinct servers with
+/// the primary in slot 0, extended along the failure-domain ring when
+/// the trailing group is undersized. Every encoding strategy
+/// (token-serial, batched, pipelined) places shards with this layout,
+/// so directory outcomes are identical regardless of which path ran.
+std::vector<ServerId> stripe_layout(staging::StagingService& service,
+                                    ServerId primary, std::size_t n);
+
+/// Stores shard `i` of `obj`'s stripe on `target`, applying the
+/// staging.shard.{crash_target,torn_write,bitflip} failpoints exactly
+/// as the centralized placement does, and recording the CRC of what
+/// should have landed in (*crcs)[i]. `sp` carries the prepared stripe
+/// (ignored for phantoms). Shared by place_encoded and the pipelined
+/// ring encoder so fault-injection behaviour cannot diverge.
+void store_stripe_shard(staging::StagingService& service,
+                        const staging::DataObject& obj,
+                        const StripePayload* sp, std::size_t i,
+                        std::size_t k, std::size_t chunk_size,
+                        ServerId target, std::vector<std::uint32_t>* crcs);
+
+/// Registers the encoded location of `obj` (stripe servers + shard
+/// CRCs) in the directory and returns the durable time including the
+/// metadata round. The final step of every encode strategy.
+SimTime register_encoded(staging::StagingService& service,
+                         const staging::DataObject& obj, ServerId primary,
+                         std::vector<ServerId> stripe, std::size_t k,
+                         std::size_t m, std::size_t chunk_size,
+                         std::vector<std::uint32_t> shard_crcs,
+                         SimTime durable, staging::Breakdown* bd);
+
 /// Splits `obj` into k chunks, computes m parity chunks, and stores the
 /// n = k+m shards across `primary`'s coding group (primary in slot 0,
 /// parity in the trailing slots). `encoder` is the server charged with

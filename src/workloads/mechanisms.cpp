@@ -42,8 +42,9 @@ std::unique_ptr<staging::ResilienceScheme> make_scheme(
       opts.classifier = p.classifier;
       opts.workflow = p.workflow;
       opts.recovery = p.recovery;
-      opts.batch_transitions = p.batch_transitions;
+      opts.transitions = p.transitions;
       opts.batch = p.batch;
+      opts.pipeline = p.pipeline;
       if (mechanism == Mechanism::kCorecAggressive) {
         opts.recovery.mode = core::RecoveryOptions::Mode::kAggressive;
       }

@@ -34,10 +34,13 @@ struct MechanismParams {
   core::ClassifierOptions classifier;
   core::WorkflowOptions workflow;
   core::RecoveryOptions recovery;
-  /// CoREC variants only: drain cold transitions through the batched
-  /// pipelined encoder instead of one token round-trip per object.
-  bool batch_transitions = false;
+  /// CoREC variants only: how cold transitions execute — one token
+  /// round-trip per object, multi-stripe batches, or the ring pipeline
+  /// across the replica holders.
+  core::TransitionStrategy transitions =
+      core::TransitionStrategy::kTokenSerial;
   core::BatchOptions batch;
+  core::PipelineOptions pipeline;
 };
 
 /// Instantiates the scheme for a mechanism.

@@ -35,7 +35,8 @@ CorecOptions corec_opts(bool batched) {
   o.m = 1;
   o.n_level = 1;
   o.efficiency_floor = 0.67;
-  o.batch_transitions = batched;
+  o.transitions = batched ? core::TransitionStrategy::kBatched
+                          : core::TransitionStrategy::kTokenSerial;
   o.batch.encode_threads = 1;  // deterministic inline stripe prep
   return o;
 }

@@ -58,13 +58,18 @@ std::vector<std::uint64_t> chaos_seeds() {
 }
 
 /// CoREC parameters for the storms below. COREC_CHAOS_BATCH=1 routes
-/// cold transitions through the batched pipelined encoder so the CI
-/// chaos leg exercises both drain paths with the same seeds.
+/// cold transitions through the batched encoder and
+/// COREC_CHAOS_PIPELINE=1 through the ring-pipelined encoder, so the
+/// CI chaos legs exercise all three drain paths with the same seeds.
 MechanismParams corec_chaos_params() {
   MechanismParams params;
   if (const char* env = std::getenv("COREC_CHAOS_BATCH");
       env != nullptr && *env != '\0' && *env != '0') {
-    params.batch_transitions = true;
+    params.transitions = core::TransitionStrategy::kBatched;
+  }
+  if (const char* env = std::getenv("COREC_CHAOS_PIPELINE");
+      env != nullptr && *env != '\0' && *env != '0') {
+    params.transitions = core::TransitionStrategy::kPipelined;
   }
   return params;
 }

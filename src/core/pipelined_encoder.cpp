@@ -305,7 +305,8 @@ SimTime PipelinedEncoder::encode_one(Pending& p, SimTime now,
   // additionally distributes the m parity shards once the ring is
   // done. Per-hop link serialization: the parity forward occupies the
   // sender's link first, then its data chunks serialize behind it.
-  std::vector<ServerId> stripe = stripe_layout(*service_, p.primary, n);
+  std::vector<ServerId> stripe =
+      stripe_layout(*service_, obj.desc.box, p.primary, n);
   std::vector<std::uint32_t> shard_crcs(n, 0);
   SimTime durable = t_parity;
   const StripePayload* sp = obj.phantom ? nullptr : &stripe_payload;

@@ -1,0 +1,398 @@
+#include "membership/manager.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/failpoint.hpp"
+#include "resilience/primitives.hpp"
+#include "staging/request.hpp"
+
+namespace corec::membership {
+
+using staging::Breakdown;
+using staging::DataObject;
+using staging::ObjectDescriptor;
+using staging::ObjectLocation;
+using staging::Protection;
+using staging::ShardHealth;
+using staging::ShardIndex;
+using staging::StoredKind;
+using staging::StoredObject;
+
+const char* to_string(TransitionKind k) {
+  switch (k) {
+    case TransitionKind::kJoin: return "join";
+    case TransitionKind::kDrain: return "drain";
+    case TransitionKind::kEvict: return "evict";
+    case TransitionKind::kRebalance: return "rebalance";
+  }
+  return "?";
+}
+
+Manager::Manager(staging::StagingService* service, ManagerOptions options)
+    : service_(service),
+      options_(options),
+      workflow_(service, options.replication_group, options.workflow) {}
+
+void Manager::start(TransitionKind kind, SimTime now) {
+  assert(!active_ && "one membership transition at a time");
+  cur_ = TransitionStats{};
+  cur_.kind = kind;
+  cur_.started = now;
+  stall_until_ = now;
+  if (auto fp = COREC_FAILPOINT("member.join.stall")) {
+    stall_until_ =
+        now + static_cast<SimTime>(fp.arg != 0 ? fp.arg : 1'000'000);
+  }
+  worklist_.clear();
+  next_ = 0;
+  active_ = true;
+}
+
+void Manager::build_worklist() {
+  // Every whole object currently registered. The conform pass no-ops
+  // objects whose placement did not change, so scanning everything
+  // costs only directory iteration; minimal movement comes from the
+  // HRW ranking, not from pre-filtering.
+  service_->directory().for_each(
+      [this](const ObjectDescriptor& desc, const ObjectLocation&) {
+        if (desc.shard == staging::kWholeObject) worklist_.push_back(desc);
+      });
+}
+
+ServerId Manager::begin_join(SimTime now) {
+  start(TransitionKind::kJoin, now);
+  ServerId id = service_->join_server();
+  cur_.target = id;
+  build_worklist();
+  return id;
+}
+
+Status Manager::begin_drain(ServerId target, SimTime now) {
+  if (active_) {
+    return Status::FailedPrecondition("membership transition in flight");
+  }
+  if (service_->pool_map().state_of(target) != TargetState::kUp) {
+    return Status::FailedPrecondition("drain target is not UP");
+  }
+  if (service_->pool_map().placement_count() <= 1) {
+    return Status::FailedPrecondition(
+        "cannot drain the last placement-eligible target");
+  }
+  start(TransitionKind::kDrain, now);
+  cur_.target = target;
+  Status st = service_->set_target_state(target, TargetState::kDrain);
+  assert(st.ok());
+  (void)st;
+  build_worklist();
+  return Status::Ok();
+}
+
+Status Manager::begin_evict(ServerId target, SimTime now) {
+  if (active_) {
+    return Status::FailedPrecondition("membership transition in flight");
+  }
+  if (target >= service_->num_servers()) {
+    return Status::FailedPrecondition("unknown eviction target");
+  }
+  if (service_->pool_map().state_of(target) == TargetState::kDown) {
+    return Status::FailedPrecondition("eviction target already DOWN");
+  }
+  start(TransitionKind::kEvict, now);
+  cur_.target = target;
+  // Liveness first (store dropped, directory failover hooks run), then
+  // the membership decision: DOWN in a new map version.
+  if (service_->alive(target)) service_->kill_server(target);
+  Status st = service_->set_target_state(target, TargetState::kDown);
+  assert(st.ok());
+  (void)st;
+  build_worklist();
+  return Status::Ok();
+}
+
+Status Manager::begin_rebalance(SimTime now) {
+  if (active_) {
+    return Status::FailedPrecondition("membership transition in flight");
+  }
+  start(TransitionKind::kRebalance, now);
+  build_worklist();
+  return Status::Ok();
+}
+
+bool Manager::step(SimTime now) {
+  if (!active_) return false;
+  SimTime t = std::max(now, stall_until_);
+  std::size_t done = 0;
+  while (next_ < worklist_.size() && done < options_.batch_objects) {
+    if (auto fp = COREC_FAILPOINT("member.rebuild.kill")) {
+      // The rebuild worker dies mid-sweep. Every object conformed so
+      // far is fully moved and registered; the rest still read from
+      // their old (directory-recorded) homes, so nothing is lost —
+      // begin_rebalance() resumes the sweep.
+      cur_.aborted = true;
+      finish(t, /*complete=*/false);
+      return false;
+    }
+    t = std::max(t, conform_object(worklist_[next_], t));
+    ++next_;
+    ++done;
+    ++cur_.objects_scanned;
+  }
+  if (next_ >= worklist_.size()) {
+    finish(t, /*complete=*/true);
+    return false;
+  }
+  return true;
+}
+
+SimTime Manager::run_to_completion(SimTime now) {
+  while (step(now)) {
+    now = std::max(now, cur_.finished);
+  }
+  return history_.empty() ? now : history_.back().finished;
+}
+
+void Manager::finish(SimTime t, bool complete) {
+  if (complete) {
+    if (cur_.kind == TransitionKind::kJoin) {
+      // Inbound rebalance done: the joiner serves as a full member.
+      Status st = service_->set_target_state(cur_.target, TargetState::kUp);
+      assert(st.ok());
+      (void)st;
+    } else if (cur_.kind == TransitionKind::kDrain) {
+      // Outbound migration done: nothing places on or reads from the
+      // drained target anymore.
+      Status st =
+          service_->set_target_state(cur_.target, TargetState::kDown);
+      assert(st.ok());
+      (void)st;
+    }
+  }
+  cur_.finished = t;
+  cur_.complete = complete;
+  cur_.map_version = service_->pool_map().version();
+  history_.push_back(cur_);
+  active_ = false;
+}
+
+SimTime Manager::conform_object(const ObjectDescriptor& desc, SimTime now) {
+  const ObjectLocation* locp = service_->directory().find(desc);
+  if (locp == nullptr) return now;  // retired since the scan
+  // Copy: the upserts below invalidate the pointer.
+  ObjectLocation loc = *locp;
+  if (loc.protection == Protection::kEncoded) {
+    return conform_encoded(desc, loc, now);
+  }
+  return conform_replicated(desc, loc, now);
+}
+
+SimTime Manager::conform_replicated(const ObjectDescriptor& desc,
+                                    const ObjectLocation& loc, SimTime now) {
+  const auto& cost = service_->cost();
+  const std::size_t count = 1 + loc.replicas.size();
+  std::vector<ServerId> desired = service_->placement_of(desc.box, count);
+  if (desired.size() < count) {
+    ++cur_.objects_skipped;  // degraded below the replication level
+    return now;
+  }
+
+  std::vector<ServerId> old_holders;
+  old_holders.push_back(loc.primary);
+  old_holders.insert(old_holders.end(), loc.replicas.begin(),
+                     loc.replicas.end());
+  const bool same_primary = desired[0] == loc.primary;
+  const bool same_set =
+      std::is_permutation(desired.begin(), desired.end(),
+                          old_holders.begin(), old_holders.end());
+  if (same_primary && same_set) return now;  // already conformed
+
+  // A verified surviving whole copy to transfer from.
+  ServerId source = kInvalidServer;
+  for (ServerId h : old_holders) {
+    if (h == kInvalidServer || h >= service_->num_servers() ||
+        !service_->alive(h)) {
+      continue;
+    }
+    if (service_->probe_stored(h, desc, loc.object_checksum) ==
+        ShardHealth::kOk) {
+      source = h;
+      break;
+    }
+  }
+  if (source == kInvalidServer) {
+    ++cur_.objects_skipped;  // every copy lost; nothing to migrate
+    return now;
+  }
+
+  // Throttle: migration yields to client encode traffic by contending
+  // for the source group's encoding token.
+  SimTime start = workflow_.acquire(source, now);
+  cur_.token_wait += start - now;
+
+  bool moved = false;
+  SimTime done = start;
+  for (std::size_t i = 0; i < desired.size(); ++i) {
+    ServerId target = desired[i];
+    const StoredKind kind =
+        i == 0 ? StoredKind::kPrimary : StoredKind::kReplica;
+    const StoredObject* held = service_->server(target).store.find(desc);
+    if (held != nullptr) {
+      if (held->kind != kind) {
+        // Role flip only (e.g. replica promoted to primary): restamp
+        // the local entry, no bytes move.
+        DataObject copy = held->object;
+        Status st = service_->store_at(target, std::move(copy), kind);
+        assert(st.ok());
+        (void)st;
+      }
+      continue;
+    }
+    // Copy from the verified source.
+    const StoredObject* stored = service_->server(source).store.find(desc);
+    assert(stored != nullptr);
+    SimTime read_service =
+        cost.request_overhead + cost.copy_time(loc.logical_size);
+    SimTime t1 =
+        service_->serve_at(source, start + cost.link_latency, read_service);
+    SimTime xfer = cost.transfer_time(loc.logical_size);
+    SimTime write_service = cost.copy_time(loc.logical_size);
+    SimTime t2 = service_->serve_at(target, t1 + xfer, write_service);
+    DataObject copy = stored->object;
+    Status st = service_->store_at(target, std::move(copy), kind);
+    assert(st.ok());
+    (void)st;
+    cur_.bytes_moved += loc.logical_size;
+    moved = true;
+    done = std::max(done, t2);
+  }
+
+  // Publish the new placement, then retire stale copies: a concurrent
+  // reader either sees the old record (old copies still present) or
+  // the new one (new copies already written) — never a miss.
+  ObjectLocation fresh = loc;
+  fresh.primary = desired[0];
+  fresh.replicas.assign(desired.begin() + 1, desired.end());
+  SimTime meta_ack = service_->directory().upsert(desc, fresh);
+  done = std::max(done + cost.metadata_op, meta_ack);
+  for (ServerId h : old_holders) {
+    if (h == kInvalidServer || h >= service_->num_servers() ||
+        !service_->alive(h)) {
+      continue;
+    }
+    if (std::find(desired.begin(), desired.end(), h) == desired.end()) {
+      service_->remove_at(h, desc);
+    }
+  }
+  if (moved) ++cur_.objects_moved;
+  workflow_.release(source, done);
+  return done;
+}
+
+SimTime Manager::conform_encoded(const ObjectDescriptor& desc,
+                                 const ObjectLocation& loc, SimTime now) {
+  const auto& cost = service_->cost();
+  const std::size_t n = loc.k + loc.m;
+  std::vector<ServerId> desired = service_->placement_of(desc.box, n);
+  if (desired.size() < n) {
+    ++cur_.objects_skipped;  // cannot hold a full stripe right now
+    return now;
+  }
+  if (std::equal(desired.begin(), desired.end(),
+                 loc.stripe_servers.begin(), loc.stripe_servers.end())) {
+    return now;  // already conformed
+  }
+
+  ServerId anchor = service_->alive(desired[0]) ? desired[0] : kInvalidServer;
+  if (anchor == kInvalidServer) {
+    ++cur_.objects_skipped;
+    return now;
+  }
+  SimTime start = workflow_.acquire(anchor, now);
+  cur_.token_wait += start - now;
+
+  // Per-slot conform: shard i moves from its old home to desired[i]
+  // when that changed. A shard whose old copy is missing or corrupt is
+  // deferred and rebuilt (decode from k survivors) after the new
+  // layout is registered.
+  std::vector<std::uint32_t> deferred;
+  bool moved = false;
+  SimTime done = start;
+  for (std::size_t i = 0; i < n; ++i) {
+    ServerId from =
+        i < loc.stripe_servers.size() ? loc.stripe_servers[i]
+                                      : kInvalidServer;
+    ServerId target = desired[i];
+    if (from == target) continue;
+    auto shard_desc = desc.shard_of(static_cast<ShardIndex>(1 + i));
+    if (service_->server(target).store.contains(shard_desc)) continue;
+    const bool have_source =
+        from != kInvalidServer && from < service_->num_servers() &&
+        service_->alive(from) &&
+        service_->probe_stored(from, shard_desc,
+                               staging::shard_checksum(loc, i)) ==
+            ShardHealth::kOk;
+    if (!have_source) {
+      deferred.push_back(static_cast<std::uint32_t>(i));
+      continue;
+    }
+    const StoredObject* stored =
+        service_->server(from).store.find(shard_desc);
+    SimTime read_service =
+        cost.request_overhead + cost.copy_time(loc.chunk_size);
+    SimTime t1 =
+        service_->serve_at(from, start + cost.link_latency, read_service);
+    SimTime xfer = cost.transfer_time(loc.chunk_size);
+    SimTime write_service = cost.copy_time(loc.chunk_size);
+    SimTime t2 = service_->serve_at(target, t1 + xfer, write_service);
+    DataObject copy = stored->object;
+    Status st = service_->store_at(
+        target, std::move(copy),
+        i < loc.k ? StoredKind::kDataChunk : StoredKind::kParity);
+    assert(st.ok());
+    (void)st;
+    cur_.bytes_moved += loc.chunk_size;
+    moved = true;
+    done = std::max(done, t2);
+  }
+
+  // Publish the new stripe layout (shard checksums are indexed by
+  // shard, not by server, so they carry over unchanged), then drop the
+  // stale shard copies and repair the deferred slots in place.
+  ObjectLocation fresh = loc;
+  fresh.primary = desired[0];
+  fresh.stripe_servers = desired;
+  SimTime meta_ack = service_->directory().upsert(desc, fresh);
+  done = std::max(done + cost.metadata_op, meta_ack);
+  for (std::size_t i = 0; i < loc.stripe_servers.size() && i < n; ++i) {
+    ServerId from = loc.stripe_servers[i];
+    if (from == desired[i] || from == kInvalidServer ||
+        from >= service_->num_servers() || !service_->alive(from)) {
+      continue;
+    }
+    service_->remove_at(from,
+                        desc.shard_of(static_cast<ShardIndex>(1 + i)));
+  }
+  if (!deferred.empty()) {
+    // Generalized lazy recovery: decode the deferred shards onto their
+    // new homes from the k survivors the fresh layout records.
+    Breakdown bd;
+    std::vector<ServerId> repaired;
+    for (std::uint32_t i : deferred) {
+      ServerId target = desired[i];
+      if (std::find(repaired.begin(), repaired.end(), target) !=
+          repaired.end()) {
+        continue;  // rebuild_on repairs every missing shard on target
+      }
+      done = std::max(
+          done, resilience::rebuild_on(*service_, desc, target, done, &bd));
+      repaired.push_back(target);
+    }
+    ++cur_.objects_rebuilt;
+    moved = true;
+  }
+  if (moved) ++cur_.objects_moved;
+  workflow_.release(anchor, done);
+  return done;
+}
+
+}  // namespace corec::membership

@@ -1,0 +1,145 @@
+// Membership transition manager: drives server join (background
+// rebalance onto the new target), drain (migrate off, then retire) and
+// eviction (retire a dead target and rebuild what it held) against a
+// StagingService running pool-map placement. Transitions conform the
+// cluster to the placement the new map version dictates, one object at
+// a time, moving only representations whose HRW ranking changed — the
+// minimal-movement property the placement function guarantees.
+//
+// Rebalance traffic is throttled through the same per-group encoding
+// token client-side replica->EC transitions use (core::EncodingWorkflow):
+// each object's move acquires the token of its transfer source, so
+// background migration serializes behind — and therefore yields to —
+// foreground encode work instead of competing with it.
+//
+// Failpoints:
+//   member.join.stall   — delays the start of the rebalance sweep
+//                         (arg ns; default 1ms)
+//   member.rebuild.kill — aborts the in-flight transition mid-sweep;
+//                         the directory stays authoritative, so reads
+//                         keep working and begin_rebalance() resumes
+//                         the conform pass later
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.hpp"
+#include "common/types.hpp"
+#include "core/encoding_workflow.hpp"
+#include "staging/object.hpp"
+#include "staging/service.hpp"
+
+namespace corec::membership {
+
+/// What kind of membership transition is running.
+enum class TransitionKind : std::uint8_t {
+  kJoin = 0,       // new server added, rebalance inbound
+  kDrain = 1,      // target retiring gracefully, rebalance outbound
+  kEvict = 2,      // target dead, rebuild its shards elsewhere
+  kRebalance = 3,  // conform-only sweep (resume after an abort)
+};
+
+const char* to_string(TransitionKind k);
+
+/// Per-transition accounting, kept in the manager's history.
+struct TransitionStats {
+  TransitionKind kind = TransitionKind::kRebalance;
+  ServerId target = kInvalidServer;   // joined/drained/evicted server
+  std::uint64_t map_version = 0;      // map version at completion
+  std::uint64_t objects_scanned = 0;  // worklist entries visited
+  std::uint64_t objects_moved = 0;    // >= 1 representation relocated
+  std::uint64_t objects_rebuilt = 0;  // needed a decode (source lost)
+  std::uint64_t objects_skipped = 0;  // too few targets / data lost
+  std::uint64_t bytes_moved = 0;      // payload bytes relocated
+  SimTime started = 0;
+  SimTime finished = 0;
+  SimTime token_wait = 0;             // throttle time spent yielding
+  bool aborted = false;               // member.rebuild.kill fired
+  bool complete = false;              // sweep covered the worklist
+};
+
+/// Manager tuning knobs.
+struct ManagerOptions {
+  /// Objects conformed per step() call (rebalance pacing granularity).
+  std::size_t batch_objects = 8;
+  /// Token-group size handed to the throttling workflow; match the
+  /// scheme's replication group so rebalance and client encodes
+  /// contend for the same tokens.
+  std::size_t replication_group = 4;
+  /// Workflow knobs (load_balance is irrelevant here; conflict_avoid
+  /// on = rebalance yields to client encode traffic).
+  core::WorkflowOptions workflow;
+};
+
+/// Drives one membership transition at a time against a staging
+/// service. All virtual-time costs are charged through the service's
+/// queues; the manager itself is driven from the simulation loop (or a
+/// test) via step()/run_to_completion().
+class Manager {
+ public:
+  explicit Manager(staging::StagingService* service,
+                   ManagerOptions options = {});
+
+  /// Grows the cluster by one server (JOINING in a new map version) and
+  /// starts the inbound rebalance. Returns the new server id.
+  ServerId begin_join(SimTime now);
+
+  /// Marks `target` DRAIN in a new map version (placement-ineligible,
+  /// still readable) and starts the outbound migration; completion
+  /// flips it DOWN in another version.
+  Status begin_drain(ServerId target, SimTime now);
+
+  /// Kills `target`, marks it DOWN in a new map version and rebuilds
+  /// the objects it held from surviving replicas/parity.
+  Status begin_evict(ServerId target, SimTime now);
+
+  /// Conform-only sweep under the current map: moves/rebuilds whatever
+  /// does not match the map's placement. The resume path after a
+  /// member.rebuild.kill abort.
+  Status begin_rebalance(SimTime now);
+
+  /// True while a transition has unconformed objects left.
+  bool active() const { return active_; }
+
+  /// Conforms up to batch_objects objects. Returns true while work
+  /// remains (call again); false once the transition finished or
+  /// aborted. Completion publishes the final map version (join -> UP,
+  /// drain -> DOWN).
+  bool step(SimTime now);
+
+  /// Steps until the transition completes or aborts; returns the
+  /// virtual completion time.
+  SimTime run_to_completion(SimTime now);
+
+  /// Stats of the in-flight transition (valid while active()).
+  const TransitionStats& current() const { return cur_; }
+  /// Completed/aborted transitions, oldest first.
+  const std::vector<TransitionStats>& history() const { return history_; }
+
+ private:
+  void start(TransitionKind kind, SimTime now);
+  void build_worklist();
+  void finish(SimTime t, bool complete);
+  /// Moves/rebuilds one object's representations to where the current
+  /// map places them. Returns the completion time (>= now).
+  SimTime conform_object(const staging::ObjectDescriptor& desc,
+                         SimTime now);
+  SimTime conform_replicated(const staging::ObjectDescriptor& desc,
+                             const staging::ObjectLocation& loc,
+                             SimTime now);
+  SimTime conform_encoded(const staging::ObjectDescriptor& desc,
+                          const staging::ObjectLocation& loc, SimTime now);
+
+  staging::StagingService* service_;
+  ManagerOptions options_;
+  core::EncodingWorkflow workflow_;
+  bool active_ = false;
+  TransitionStats cur_;
+  std::vector<staging::ObjectDescriptor> worklist_;
+  std::size_t next_ = 0;
+  SimTime stall_until_ = 0;  // member.join.stall
+  std::vector<TransitionStats> history_;
+};
+
+}  // namespace corec::membership

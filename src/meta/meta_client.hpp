@@ -34,6 +34,15 @@ class MetaClient final : public staging::MetadataPlane {
   void on_server_replaced(ServerId s, SimTime now) override;
   bool available() const override { return service_->available(); }
 
+  SimTime replicate_map(const Bytes& blob, std::uint64_t version,
+                        SimTime now) override {
+    if (!service_->available()) return now;
+    return service_->apply_map(blob, version);
+  }
+  std::uint64_t map_version() const override {
+    return service_->map_version();
+  }
+
   MetaService& meta() { return *service_; }
   const MetaService& meta() const { return *service_; }
 

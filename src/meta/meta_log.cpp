@@ -21,6 +21,18 @@ const OpRecord& MetaLog::append(MetaOpKind kind,
   return records_.back();
 }
 
+const OpRecord& MetaLog::append_map(const Bytes& blob,
+                                    std::uint64_t version) {
+  OpRecord op;
+  op.seq = next_seq_++;
+  op.kind = MetaOpKind::kMapTransition;
+  op.map_blob = blob;
+  op.map_version = version;
+  records_.push_back(std::move(op));
+  encoded_bytes_ += record_bytes(records_.back());
+  return records_.back();
+}
+
 void MetaLog::compact_to(std::uint64_t through_seq) {
   while (!records_.empty() && records_.front().seq <= through_seq) {
     encoded_bytes_ -= record_bytes(records_.front());
@@ -93,6 +105,9 @@ std::size_t MetaLog::record_bytes(const OpRecord& op) {
                       staging::encoded_descriptor_size(op.desc);
   if (op.kind == MetaOpKind::kUpsert) {
     total += staging::encoded_location_size(op.loc);
+  } else if (op.kind == MetaOpKind::kMapTransition) {
+    // u64 map version + u64 length prefix + map bytes.
+    total += 2 * sizeof(std::uint64_t) + op.map_blob.size();
   }
   return total;
 }

@@ -31,6 +31,10 @@ class MetaLog {
   const OpRecord& append(MetaOpKind kind, const ObjectDescriptor& desc,
                          const ObjectLocation& loc);
 
+  /// Appends a membership-map transition record carrying the full
+  /// serialized pool map at `version`.
+  const OpRecord& append_map(const Bytes& blob, std::uint64_t version);
+
   /// Sequence of the newest record ever appended (0 = none yet).
   std::uint64_t last_seq() const { return next_seq_ - 1; }
 

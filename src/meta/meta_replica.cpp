@@ -13,6 +13,17 @@ void MetaReplica::accept(const OpRecord& op, SimTime received) {
       });
   if (it != log_.end() && it->op.seq == op.seq) return;  // duplicate
   log_.insert(it, ReplicaEntry{op, received});
+  if (op.kind == staging::MetaOpKind::kMapTransition) {
+    retain_map(op.map_blob, op.map_version, received);
+  }
+}
+
+void MetaReplica::retain_map(const Bytes& blob, std::uint64_t version,
+                             SimTime received) {
+  if (version <= map_version_) return;
+  map_blob_ = blob;
+  map_version_ = version;
+  map_received_ = received;
 }
 
 void MetaReplica::install_snapshot(Bytes bytes, std::uint64_t seq,
@@ -95,6 +106,14 @@ void MetaReplica::discard_in_flight(SimTime t) {
                               return e.received > t;
                             }),
              log_.end());
+  if (map_received_ > t) {
+    // The map record was still in flight when the primary died. The
+    // map owner re-replicates after every transition and adoption is
+    // monotonic, so dropping it is safe.
+    map_blob_.clear();
+    map_version_ = 0;
+    map_received_ = 0;
+  }
 }
 
 void MetaReplica::prune(SimTime now) {
@@ -109,6 +128,9 @@ void MetaReplica::clear() {
   snapshots_.clear();
   log_.clear();
   streamed_seq_ = 0;
+  map_blob_.clear();
+  map_version_ = 0;
+  map_received_ = 0;
 }
 
 }  // namespace corec::meta

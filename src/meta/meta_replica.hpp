@@ -96,12 +96,23 @@ class MetaReplica {
   std::uint64_t streamed_seq() const { return streamed_seq_; }
   void set_streamed_seq(std::uint64_t seq) { streamed_seq_ = seq; }
 
+  /// Newest pool map this replica has received (kMapTransition records
+  /// and failover reseeds). Version 0 = none. Used at failover so the
+  /// elected primary keeps serving the membership view.
+  const Bytes& map_blob() const { return map_blob_; }
+  std::uint64_t map_version() const { return map_version_; }
+  void retain_map(const Bytes& blob, std::uint64_t version,
+                  SimTime received);
+
  private:
   ServerId host_;
   bool alive_ = true;
   std::uint64_t streamed_seq_ = 0;
   std::vector<ReplicaSnapshot> snapshots_;  // ordered by seq, <= 2 kept
   std::deque<ReplicaEntry> log_;            // ordered by seq
+  Bytes map_blob_;                          // newest retained pool map
+  std::uint64_t map_version_ = 0;
+  SimTime map_received_ = 0;
 };
 
 }  // namespace corec::meta

@@ -60,6 +60,32 @@ SimTime MetaService::apply(MetaOpKind kind, const ObjectDescriptor& desc,
     t_p += static_cast<SimTime>(fp.arg != 0 ? fp.arg : 100'000);
   }
 
+  return replicate_record(op.seq, t_p, now);
+}
+
+SimTime MetaService::apply_map(const Bytes& blob, std::uint64_t version) {
+  const SimTime now = service_->sim().now();
+  if (!available()) return now;
+  const auto& cost = service_->cost();
+
+  // The primary retains the newest map it has seen; followers retain
+  // theirs when the streamed record lands (MetaReplica::accept).
+  if (version > map_version_) {
+    map_blob_ = blob;
+    map_version_ = version;
+  }
+  const OpRecord& op = log_.append_map(blob, version);
+  ++stats_.ops_logged;
+
+  SimTime t_p = service_->serve_at(primary_, now, cost.metadata_op);
+  if (auto fp = COREC_FAILPOINT("meta.append.delay")) {
+    t_p += static_cast<SimTime>(fp.arg != 0 ? fp.arg : 100'000);
+  }
+  return replicate_record(op.seq, t_p, now);
+}
+
+SimTime MetaService::replicate_record(std::uint64_t seq, SimTime t_p,
+                                      SimTime now) {
   // Stream the record to every live follower; collect receive times.
   // Each follower is first gap-repaired (records an earlier wire drop
   // left missing), so acknowledged mutations are durable on a quorum
@@ -84,7 +110,7 @@ SimTime MetaService::apply(MetaOpKind kind, const ObjectDescriptor& desc,
   stats_.replication_lag.add(static_cast<double>(ack - t_p));
   last_ack_ = std::max(last_ack_, ack);
 
-  if (op.seq - last_snapshot_seq_ >= options_.snapshot_every) {
+  if (seq - last_snapshot_seq_ >= options_.snapshot_every) {
     take_snapshot();
   }
   return ack;
@@ -224,6 +250,12 @@ void MetaService::failover(SimTime t) {
 
   primary_ = new_primary;
   primary_dir_ = std::move(fresh);
+  // The new primary serves the membership view it had durably
+  // retained. A map record still in flight at the failure instant is
+  // dropped here — the map owner re-replicates after every transition
+  // and adoption is monotonic, so the view only ever lags, never forks.
+  map_blob_ = winner->map_blob();
+  map_version_ = winner->map_version();
   log_.reset(winner_durable);
   last_snapshot_seq_ = winner_durable;
   stats_.failover_time.add(static_cast<double>(t_ready - t));
@@ -249,6 +281,7 @@ void MetaService::failover(SimTime t) {
         cost.copy_time(bytes.size()));
     r.install_snapshot(bytes, winner_durable, recv, /*truncate_log=*/true);
     r.set_streamed_seq(winner_durable);
+    r.retain_map(map_blob_, map_version_, recv);
     stats_.snapshot_bytes_shipped += bytes.size();
   }
 }
@@ -270,6 +303,7 @@ SimTime MetaService::catch_up(MetaReplica& replica, SimTime now) {
   replica.install_snapshot(std::move(bytes), seq, recv,
                            /*truncate_log=*/true);
   replica.set_streamed_seq(seq);
+  replica.retain_map(map_blob_, map_version_, recv);
   stats_.snapshot_bytes_shipped += snap_size;
   ++stats_.catchups;
   stats_.catchup_time.add(static_cast<double>(recv - now));

@@ -92,6 +92,10 @@ class MetaService {
   SimTime apply(MetaOpKind kind, const ObjectDescriptor& desc,
                 const ObjectLocation& loc);
 
+  /// Replicates a membership pool map (serialized membership::PoolMap
+  /// at `version`) through the op-log, same ack rule as apply().
+  SimTime apply_map(const Bytes& blob, std::uint64_t version);
+
   /// Forces a compacting snapshot now (normally triggered by
   /// snapshot_every).
   void take_snapshot();
@@ -122,6 +126,9 @@ class MetaService {
   const MetaStats& stats() const { return stats_; }
   /// Latest mutation acknowledgement time handed out.
   SimTime last_ack() const { return last_ack_; }
+  /// Newest pool map the current primary serves (version 0 = none).
+  const Bytes& map_blob() const { return map_blob_; }
+  std::uint64_t map_version() const { return map_version_; }
 
  private:
   MetaReplica* find_follower(ServerId s);
@@ -138,6 +145,11 @@ class MetaService {
   /// prefix, with the receive time of the final bytes in *recv_out.
   bool stream_to(MetaReplica& replica, SimTime from, SimTime now,
                  SimTime* recv_out);
+  /// Common replication tail of apply()/apply_map(): streams the log to
+  /// every live follower, computes the quorum ack for the record at
+  /// `seq` applied on the primary at `t_p`, and triggers snapshot
+  /// compaction. Returns the acknowledgement time.
+  SimTime replicate_record(std::uint64_t seq, SimTime t_p, SimTime now);
 
   staging::StagingService* service_;
   MetaOptions options_;
@@ -149,6 +161,8 @@ class MetaService {
   std::uint64_t last_snapshot_seq_ = 0;
   SimTime last_ack_ = 0;
   MetaStats stats_;
+  Bytes map_blob_;  // newest pool map on the current primary
+  std::uint64_t map_version_ = 0;
 };
 
 }  // namespace corec::meta

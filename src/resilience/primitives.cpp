@@ -30,23 +30,31 @@ SimTime place_replicated(StagingService& service, const DataObject& obj,
   assert(st.ok());
   (void)st;
 
-  // Replica targets: the other members of the replication group, alive;
-  // walk the ring past the group if too many members are dead.
+  // Replica targets. Pool-map placement takes the next alive targets of
+  // the object's HRW ranking (so any map holder can recompute the
+  // replica set); ring placement takes the other members of the
+  // replication group, walking the ring past dead members.
   std::vector<ServerId> replicas;
-  auto group = ring_group_from(service, primary,
-                               n_replicas + 1);
-  for (std::size_t i = 1; i < group.size() && replicas.size() < n_replicas;
-       ++i) {
-    if (service.alive(group[i])) replicas.push_back(group[i]);
-  }
-  for (std::size_t step = 1;
-       replicas.size() < n_replicas && step < service.num_servers();
-       ++step) {
-    ServerId cand = service.ring_next(primary, n_replicas + step);
-    if (cand != primary && service.alive(cand) &&
-        std::find(replicas.begin(), replicas.end(), cand) ==
-            replicas.end()) {
-      replicas.push_back(cand);
+  if (service.options().placement == staging::PlacementMode::kPoolMap) {
+    auto group = service.placement_group(obj.desc.box, primary,
+                                         n_replicas + 1);
+    replicas.assign(group.begin() + 1, group.end());
+  } else {
+    auto group = ring_group_from(service, primary,
+                                 n_replicas + 1);
+    for (std::size_t i = 1;
+         i < group.size() && replicas.size() < n_replicas; ++i) {
+      if (service.alive(group[i])) replicas.push_back(group[i]);
+    }
+    for (std::size_t step = 1;
+         replicas.size() < n_replicas && step < service.num_servers();
+         ++step) {
+      ServerId cand = service.ring_next(primary, n_replicas + step);
+      if (cand != primary && service.alive(cand) &&
+          std::find(replicas.begin(), replicas.end(), cand) ==
+              replicas.end()) {
+        replicas.push_back(cand);
+      }
     }
   }
 
@@ -152,7 +160,13 @@ StripePayload make_stripe_payload(const erasure::Codec& codec,
 }
 
 std::vector<ServerId> stripe_layout(StagingService& service,
+                                    const geom::BoundingBox& box,
                                     ServerId primary, std::size_t n) {
+  if (service.options().placement == staging::PlacementMode::kPoolMap) {
+    std::vector<ServerId> stripe = service.placement_group(box, primary, n);
+    assert(stripe.size() == n && "cluster smaller than stripe width");
+    return stripe;
+  }
   // Coding-group members with the primary in slot 0.
   std::vector<ServerId> stripe = ring_group_from(service, primary, n);
   // Undersized trailing group: extend along the ring (distinct servers).
@@ -243,7 +257,8 @@ SimTime place_encoded(StagingService& service, const DataObject& obj,
   const std::size_t chunk_size =
       (obj.logical_size + k - 1) / std::max<std::size_t>(k, 1);
 
-  std::vector<ServerId> stripe = stripe_layout(service, primary, n);
+  std::vector<ServerId> stripe =
+      stripe_layout(service, obj.desc.box, primary, n);
 
   // Encode on `encoder` (primary, or the helper chosen by the
   // conflict-avoiding workflow).

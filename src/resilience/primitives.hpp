@@ -46,12 +46,16 @@ SimTime place_replicated(staging::StagingService& service,
                          std::size_t n_replicas, SimTime arrived,
                          staging::Breakdown* bd);
 
-/// Stripe layout for `primary`'s coding group: n distinct servers with
-/// the primary in slot 0, extended along the failure-domain ring when
-/// the trailing group is undersized. Every encoding strategy
-/// (token-serial, batched, pipelined) places shards with this layout,
-/// so directory outcomes are identical regardless of which path ran.
+/// Stripe layout for `box`'s coding group: n distinct servers with the
+/// primary in slot 0. Under SFC-ring placement the group is the ring
+/// window at the primary, extended along the failure-domain ring when
+/// the trailing group is undersized; under pool-map placement the
+/// remaining slots follow the object's HRW ranking. Every encoding
+/// strategy (token-serial, batched, pipelined) places shards with this
+/// layout, so directory outcomes are identical regardless of which
+/// path ran.
 std::vector<ServerId> stripe_layout(staging::StagingService& service,
+                                    const geom::BoundingBox& box,
                                     ServerId primary, std::size_t n);
 
 /// Stores shard `i` of `obj`'s stripe on `target`, applying the

@@ -123,9 +123,15 @@ class Server {
   void flush_writes(const ConnPtr& conn);
   void update_read_interest(const ConnPtr& conn);
   void close_connection(const ConnPtr& conn);
-  static Bytes make_head(const FrameHeader& req_header, const Status& status,
-                         const Bytes& body_prefix,
-                         std::size_t payload_bytes);
+  /// Non-static: stamps the fabric's current pool-map version into
+  /// every response header so clients converge without extra rounds.
+  Bytes make_head(const FrameHeader& req_header, const Status& status,
+                  const Bytes& body_prefix, std::size_t payload_bytes);
+  /// True when a data op carries a nonzero map version older than the
+  /// fabric's published one (or member.map.stale_client forces it).
+  bool stale_map(const FrameHeader& header) const;
+  /// kNotMyShard response whose body is the serialized current map.
+  OutFrame stale_map_response(const FrameHeader& req);
 
   ServerOptions options_;
   staging::ThreadFabric fabric_;

@@ -66,6 +66,21 @@ class MetadataPlane {
   /// True while the plane can serve metadata operations (the local plane
   /// always can; the replicated plane can while a primary exists).
   virtual bool available() const { return true; }
+
+  // ---- membership map -----------------------------------------------------
+  /// Replicates a serialized pool map (see membership::PoolMap) through
+  /// the plane so followers and clients converge on it. The local plane
+  /// just retains the newest blob; the replicated plane appends a
+  /// kMapTransition record to the op-log and streams it. Returns the
+  /// replication completion time.
+  virtual SimTime replicate_map(const Bytes& blob, std::uint64_t version,
+                                SimTime now) {
+    (void)blob;
+    (void)version;
+    return now;
+  }
+  /// Newest pool-map version the plane has replicated (0 = none).
+  virtual std::uint64_t map_version() const { return 0; }
 };
 
 /// Default single-copy metadata plane: a plain in-process Directory.
@@ -86,9 +101,21 @@ class LocalMetadata final : public MetadataPlane {
   std::size_t size() const override;
   void for_each(const VisitFn& fn) const override;
   const Directory& state() const override { return dir_; }
+  SimTime replicate_map(const Bytes& blob, std::uint64_t version,
+                        SimTime now) override {
+    if (version > map_version_) {
+      map_blob_ = blob;
+      map_version_ = version;
+    }
+    return now;
+  }
+  std::uint64_t map_version() const override { return map_version_; }
+  const Bytes& map_blob() const { return map_blob_; }
 
  private:
   Directory dir_;
+  Bytes map_blob_;
+  std::uint64_t map_version_ = 0;
 };
 
 }  // namespace corec::staging

@@ -6,6 +6,7 @@
 
 #include "common/checksum.hpp"
 #include "common/failpoint.hpp"
+#include "membership/placement.hpp"
 #include "staging/hyperslab.hpp"
 
 namespace corec::staging {
@@ -31,6 +32,10 @@ StagingService::StagingService(ServiceOptions options, sim::Simulation* sim,
       meta_(&local_meta_),
       ring_(options_.topology.make_ring()),
       ring_pos_(invert_ring(ring_)),
+      pool_map_(membership::PoolMap::initial(
+          options_.topology.num_servers(),
+          options_.topology.nodes_per_cabinet(),
+          options_.topology.servers_per_node())),
       rng_(options_.seed, 0x9e3779b97f4a7c15ULL) {
   servers_.reserve(options_.topology.num_servers());
   for (std::size_t i = 0; i < options_.topology.num_servers(); ++i) {
@@ -52,6 +57,17 @@ ServerId StagingService::ring_next(ServerId s, std::size_t steps) const {
 }
 
 ServerId StagingService::route(const geom::BoundingBox& box) const {
+  if (options_.placement == PlacementMode::kPoolMap &&
+      pool_map_.placement_count() > 0) {
+    // HRW ranking over the pool map: the highest-scoring alive eligible
+    // target is the primary. Falls through to the SFC ring only when
+    // every eligible target is dead.
+    auto ranked = membership::place(pool_map_, placement_key(box),
+                                    pool_map_.placement_count());
+    for (ServerId s : ranked) {
+      if (servers_[s].alive) return s;
+    }
+  }
   sfc::SfcKey key = mapper_.key_of(box);
   auto pos = static_cast<std::size_t>(
       (static_cast<unsigned __int128>(key) * ring_.size()) >>
@@ -64,6 +80,80 @@ ServerId StagingService::route(const geom::BoundingBox& box) const {
     if (servers_[s].alive) return s;
   }
   return ring_[pos];  // nobody alive; caller will fail the op
+}
+
+std::uint64_t StagingService::placement_key(
+    const geom::BoundingBox& box) const {
+  return membership::mix64(mapper_.key_of(box));
+}
+
+std::vector<ServerId> StagingService::placement_of(
+    const geom::BoundingBox& box, std::size_t count) const {
+  auto ranked = membership::place(pool_map_, placement_key(box),
+                                  pool_map_.placement_count());
+  std::vector<ServerId> out;
+  out.reserve(count);
+  for (ServerId s : ranked) {
+    if (out.size() == count) break;
+    if (s < servers_.size() && servers_[s].alive) out.push_back(s);
+  }
+  return out;
+}
+
+std::vector<ServerId> StagingService::placement_group(
+    const geom::BoundingBox& box, ServerId primary, std::size_t n) const {
+  std::vector<ServerId> group;
+  group.reserve(n);
+  group.push_back(primary);
+  auto ranked = membership::place(pool_map_, placement_key(box),
+                                  pool_map_.placement_count());
+  for (ServerId s : ranked) {
+    if (group.size() == n) break;
+    if (s == primary || s >= servers_.size() || !servers_[s].alive) {
+      continue;
+    }
+    group.push_back(s);
+  }
+  // Last resort during heavy degradation: pad with any alive server so
+  // the stripe width invariant holds (a duplicate-free group of n needs
+  // n distinct alive servers; fewer and the caller's assert fires, as
+  // before).
+  for (ServerId s = 0; group.size() < n && s < servers_.size(); ++s) {
+    if (!servers_[s].alive ||
+        std::find(group.begin(), group.end(), s) != group.end()) {
+      continue;
+    }
+    group.push_back(s);
+  }
+  return group;
+}
+
+ServerId StagingService::join_server() {
+  const auto id = static_cast<ServerId>(servers_.size());
+  servers_.emplace_back(options_.server_capacity);
+  ring_.push_back(id);
+  ring_pos_.push_back(ring_.size() - 1);
+  const std::size_t spn = std::max<std::size_t>(
+      options_.topology.servers_per_node(), 1);
+  const std::size_t npc = std::max<std::size_t>(
+      options_.topology.nodes_per_cabinet(), 1);
+  pool_map_.add_target(static_cast<std::uint16_t>(id / (spn * npc)),
+                       static_cast<std::uint16_t>((id / spn) % npc));
+  replicate_map(sim_->now());
+  return id;
+}
+
+Status StagingService::set_target_state(ServerId s,
+                                        membership::TargetState state) {
+  COREC_RETURN_IF_ERROR(pool_map_.set_state(s, state));
+  replicate_map(sim_->now());
+  return Status::Ok();
+}
+
+SimTime StagingService::replicate_map(SimTime now) {
+  Bytes blob;
+  pool_map_.encode(&blob);
+  return meta_->replicate_map(blob, pool_map_.version(), now);
 }
 
 std::size_t StagingService::num_alive() const {

@@ -13,6 +13,7 @@
 #include "common/status.hpp"
 #include "erasure/codec.hpp"
 #include "geom/partition.hpp"
+#include "membership/pool_map.hpp"
 #include "net/cost_model.hpp"
 #include "net/queueing.hpp"
 #include "net/topology.hpp"
@@ -25,6 +26,19 @@
 #include "staging/scheme.hpp"
 
 namespace corec::staging {
+
+/// How objects are assigned to staging servers.
+enum class PlacementMode : std::uint8_t {
+  /// Static SFC key-range routing over the topology ring (the seed
+  /// behaviour): deterministic for a fixed server count, but a resize
+  /// reshuffles nearly every key range.
+  kSfcRing = 0,
+  /// Algorithmic placement over the versioned pool map (HRW hashing of
+  /// the object's SFC key): elastic — joins and drains move only the
+  /// minimal set of objects, and any holder of the map can compute the
+  /// layout without a directory round-trip.
+  kPoolMap = 1,
+};
 
 /// Construction-time configuration of a staging cluster.
 struct ServiceOptions {
@@ -42,6 +56,8 @@ struct ServiceOptions {
   std::size_t server_capacity = 0;
   /// Seed for all stochastic choices inside the service.
   std::uint64_t seed = 42;
+  /// Object -> server assignment strategy (see PlacementMode).
+  PlacementMode placement = PlacementMode::kSfcRing;
 };
 
 /// Counters for the end-to-end integrity machinery: every read, decode
@@ -107,6 +123,47 @@ class StagingService {
 
   bool alive(ServerId s) const { return servers_[s].alive; }
   std::size_t num_alive() const;
+
+  // ---- elastic membership -------------------------------------------------
+
+  /// The versioned pool map describing the current server set. Under
+  /// PlacementMode::kPoolMap it is the routing authority; under
+  /// kSfcRing it still tracks membership for observability.
+  const membership::PoolMap& pool_map() const { return pool_map_; }
+
+  /// Adds a brand-new empty server (grows the cluster by one), marks it
+  /// JOINING in a new map version and replicates the map. Returns the
+  /// new server's id. The caller (membership::Manager) is responsible
+  /// for rebalancing data onto it and flipping it UP.
+  ServerId join_server();
+
+  /// Transitions one pool target's lifecycle state in a new map version
+  /// and replicates the map. FAILED_PRECONDITION on unknown targets or
+  /// no-op transitions.
+  Status set_target_state(ServerId s, membership::TargetState state);
+
+  /// Pushes the current map through the metadata plane's op-log so
+  /// followers (and clients, via the RPC redirect path) converge on it.
+  /// Returns the replication completion time.
+  SimTime replicate_map(SimTime now);
+
+  /// HRW placement key of an object region (SFC key diffused through
+  /// mix64 so nearby regions don't correlate in placement space).
+  std::uint64_t placement_key(const geom::BoundingBox& box) const;
+
+  /// First `count` alive targets of the HRW ranking for `box` under the
+  /// current map (primary first). May return fewer than `count` when
+  /// the map is small or degraded.
+  std::vector<ServerId> placement_of(const geom::BoundingBox& box,
+                                     std::size_t count) const;
+
+  /// Placement group of size `n` for a stripe/replica set anchored at
+  /// `primary`: slot 0 is forced to `primary`, the rest follow the HRW
+  /// ranking (skipping the primary and dead servers), extended with any
+  /// remaining alive servers as a last resort.
+  std::vector<ServerId> placement_group(const geom::BoundingBox& box,
+                                        ServerId primary,
+                                        std::size_t n) const;
 
   // ---- scheme-facing primitives ------------------------------------------
 
@@ -226,6 +283,7 @@ class StagingService {
   std::vector<ServerState> servers_;
   std::vector<ServerId> ring_;
   std::vector<std::size_t> ring_pos_;
+  membership::PoolMap pool_map_;
   Rng rng_;
   IntegrityStats integrity_;
   std::size_t stored_total_ = 0;  // incremental sum of store bytes

@@ -19,9 +19,12 @@
 #include <atomic>
 #include <functional>
 #include <memory>
+#include <shared_mutex>
 #include <vector>
 
+#include "common/buffer.hpp"
 #include "common/thread_pool.hpp"
+#include "membership/pool_map.hpp"
 #include "staging/sharded_store.hpp"
 
 namespace corec::staging {
@@ -32,6 +35,11 @@ struct FabricOptions {
   std::size_t directory_shards = 0;  // metadata shards (0 = auto)
   std::size_t server_capacity = 0;   // bytes per server (0 = unlimited)
   std::size_t workers = 0;           // async dispatch threads (0 = auto)
+  /// Route through the versioned pool map (HRW placement) instead of
+  /// the static modulo hash. Required for join_server()/drain_server()
+  /// migration semantics; off by default so existing deployments keep
+  /// their byte-identical placement.
+  bool pool_dispatch = false;
 };
 
 /// Operation counters (relaxed; exact at quiesce).
@@ -87,12 +95,46 @@ class ThreadFabric {
   /// Blocks until every dispatched op has completed.
   void drain() { pool_.wait_idle(); }
 
+  // ---- elastic membership (pool_dispatch mode) ---------------------------
+  //
+  // Transitions are caller-serialized: run one join/drain at a time.
+  // Routed ops stay live throughout — migration copies entries to their
+  // new homes FIRST, publishes the new map, re-conforms whatever raced
+  // in under the old map, and only then erases stale copies, so a
+  // concurrent routed get never misses.
+
+  /// Newest published map version (lock-free; the RPC server's
+  /// staleness fast path).
+  std::uint64_t map_version() const {
+    return map_version_.load(std::memory_order_acquire);
+  }
+
+  /// Snapshot of the published map.
+  membership::PoolMap pool_map_copy() const;
+
+  /// Serialized form of the published map (for NOT_MY_SHARD redirect
+  /// bodies and MAP_GET responses).
+  Bytes map_blob() const;
+
+  /// Grows the fabric by one server and — in pool_dispatch mode —
+  /// rebalances the minimal set of entries onto it (JOINING -> migrate
+  /// -> UP, two map versions). Returns the new server id.
+  ServerId join_server();
+
+  /// Migrates every entry off `target` and retires it (DRAIN ->
+  /// migrate -> DOWN, two map versions). The store object stays in
+  /// place (ids are dense and stable) but ends empty and unroutable.
+  Status drain_server(ServerId target);
+
   // ---- structure access ----------------------------------------------------
 
-  std::size_t num_servers() const { return stores_.size(); }
-  ShardedObjectStore& store(ServerId server) { return *stores_[server]; }
+  std::size_t num_servers() const {
+    std::shared_lock<std::shared_mutex> lk(membership_mu_);
+    return stores_.size();
+  }
+  ShardedObjectStore& store(ServerId server) { return *store_ptr(server); }
   const ShardedObjectStore& store(ServerId server) const {
-    return *stores_[server];
+    return *store_ptr(server);
   }
   ShardedDirectory& directory() { return directory_; }
   const ShardedDirectory& directory() const { return directory_; }
@@ -108,9 +150,36 @@ class ThreadFabric {
   ShardMetricsSnapshot shard_metrics() const;
 
  private:
+  /// Store pointer lookup under the membership lock. The pointee is
+  /// stable across stores_ growth (unique_ptr targets don't move), so
+  /// callers may keep using the raw pointer after the lock drops.
+  ShardedObjectStore* store_ptr(ServerId server) const {
+    std::shared_lock<std::shared_mutex> lk(membership_mu_);
+    return stores_[server].get();
+  }
+  /// Routed home of `desc`'s base entity under `map`.
+  ServerId home_under(const membership::PoolMap& map,
+                      const ObjectDescriptor& desc) const;
+  /// Copies every entry whose home under `map` differs from where it
+  /// sits to that home. Returns the number of entries copied.
+  std::size_t conform_pass(const membership::PoolMap& map);
+  /// Erases entries whose home under `map` differs from where they sit,
+  /// but only once the home already holds them (idempotent, safe after
+  /// conform_pass). Returns the number erased.
+  std::size_t retire_pass(const membership::PoolMap& map);
+  /// Publishes `next` as the routing map (unique lock + version store).
+  void publish(membership::PoolMap next);
+
   std::vector<std::unique_ptr<ShardedObjectStore>> stores_;
   ShardedDirectory directory_;
   ThreadPool pool_;
+  FabricOptions options_;
+  bool pool_dispatch_;
+  /// Guards stores_ growth and map_ publication; routed ops take it
+  /// shared for the pointer/ranking lookup only.
+  mutable std::shared_mutex membership_mu_;
+  membership::PoolMap map_;
+  std::atomic<std::uint64_t> map_version_{0};
   mutable std::atomic<std::uint64_t> puts_{0};
   mutable std::atomic<std::uint64_t> gets_{0};
   mutable std::atomic<std::uint64_t> erases_{0};

@@ -212,6 +212,9 @@ void encode_op_record(const OpRecord& op, BufferWriter* w) {
   encode_descriptor(op.desc, w);
   if (op.kind == MetaOpKind::kUpsert) {
     encode_location(op.loc, w);
+  } else if (op.kind == MetaOpKind::kMapTransition) {
+    w->put<std::uint64_t>(op.map_version);
+    w->put_bytes(ByteSpan(op.map_blob.data(), op.map_blob.size()));
   }
 }
 
@@ -220,13 +223,16 @@ StatusOr<OpRecord> decode_op_record(BufferReader* r) {
   COREC_RETURN_IF_ERROR(r->get(&op.seq));
   std::uint8_t kind = 0;
   COREC_RETURN_IF_ERROR(r->get(&kind));
-  if (kind > static_cast<std::uint8_t>(MetaOpKind::kRemove)) {
+  if (kind > static_cast<std::uint8_t>(MetaOpKind::kMapTransition)) {
     return Status::InvalidArgument("bad op-log record kind");
   }
   op.kind = static_cast<MetaOpKind>(kind);
   COREC_ASSIGN_OR_RETURN(op.desc, decode_descriptor(r));
   if (op.kind == MetaOpKind::kUpsert) {
     COREC_ASSIGN_OR_RETURN(op.loc, decode_location(r));
+  } else if (op.kind == MetaOpKind::kMapTransition) {
+    COREC_RETURN_IF_ERROR(r->get(&op.map_version));
+    COREC_RETURN_IF_ERROR(r->get_bytes(&op.map_blob));
   }
   return op;
 }
@@ -234,9 +240,11 @@ StatusOr<OpRecord> decode_op_record(BufferReader* r) {
 void apply_op_record(const OpRecord& op, Directory* dir) {
   if (op.kind == MetaOpKind::kUpsert) {
     dir->upsert(op.desc, op.loc);
-  } else {
+  } else if (op.kind == MetaOpKind::kRemove) {
     dir->remove(op.desc);
   }
+  // kMapTransition carries no directory mutation: replay leaves the
+  // directory untouched and the retained map is handled by the replica.
 }
 
 }  // namespace corec::staging

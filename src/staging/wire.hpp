@@ -52,7 +52,13 @@ Status restore_directory(ByteSpan snapshot, Directory* dir);
 // ---- replicated-metadata op-log records (src/meta/) ----------------------
 
 /// Kind tag of one op-log record.
-enum class MetaOpKind : std::uint8_t { kUpsert = 0, kRemove = 1 };
+enum class MetaOpKind : std::uint8_t {
+  kUpsert = 0,
+  kRemove = 1,
+  /// Membership transition: the record carries a full serialized pool
+  /// map (membership::PoolMap); replicas retain the newest version.
+  kMapTransition = 2,
+};
 
 /// One op-log record: a single directory mutation plus the sequence
 /// number the metadata primary assigned to it.
@@ -60,7 +66,9 @@ struct OpRecord {
   std::uint64_t seq = 0;
   MetaOpKind kind = MetaOpKind::kUpsert;
   ObjectDescriptor desc;
-  ObjectLocation loc;  // meaningful for kUpsert only
+  ObjectLocation loc;         // meaningful for kUpsert only
+  Bytes map_blob;             // meaningful for kMapTransition only
+  std::uint64_t map_version = 0;  // ditto
 };
 
 /// Appends one op-log record (seq, kind, descriptor, and for upserts the

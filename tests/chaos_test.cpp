@@ -13,9 +13,11 @@
 #include <string>
 
 #include "core/corec_scheme.hpp"
+#include "membership/manager.hpp"
 #include "meta/meta_client.hpp"
 #include "meta/meta_service.hpp"
 #include "net/failure.hpp"
+#include "resilience/scrubber.hpp"
 #include "staging/hyperslab.hpp"
 #include "workloads/driver.hpp"
 #include "workloads/mechanisms.hpp"
@@ -28,6 +30,13 @@ staging::ServiceOptions chaos_service_options() {
   auto opts = table1_service_options();
   opts.domain = geom::BoundingBox::cube(0, 0, 0, 31, 31, 31);
   opts.fit.target_bytes = 4096;
+  // COREC_CHAOS_MEMBERSHIP=1 re-runs every storm under pool-map (HRW)
+  // placement instead of the static SFC ring, so the CI membership leg
+  // exercises recovery and metadata failover with elastic routing.
+  if (const char* env = std::getenv("COREC_CHAOS_MEMBERSHIP");
+      env != nullptr && *env != '\0' && *env != '0') {
+    opts.placement = staging::PlacementMode::kPoolMap;
+  }
   return opts;
 }
 
@@ -365,6 +374,146 @@ TEST(Chaos, MtbfDrivenStormNeverCorrupts) {
   EXPECT_EQ(metrics.corrupt_reads(), 0u);
   audit_directory(service);
   audit_encoded_mirror(service, driver, plan, /*seed=*/4242);
+}
+
+/// End-of-run membership audit: every whole object the directory
+/// records must be readable end-to-end (bytes matching the mirror) AND
+/// placed exactly where the final pool map says it belongs. Descriptors
+/// are collected first — the reads below can trigger repair upserts,
+/// which would invalidate a live directory iteration.
+void audit_membership_placement(staging::StagingService& service,
+                                const WorkloadDriver& driver,
+                                const WorkloadPlan& plan,
+                                std::uint64_t seed) {
+  const std::size_t elem = plan.element_size;
+  std::vector<staging::ObjectDescriptor> descs;
+  service.directory().for_each([&](const staging::ObjectDescriptor& desc,
+                                   const staging::ObjectLocation&) {
+    if (desc.shard == staging::kWholeObject) descs.push_back(desc);
+  });
+  for (const auto& desc : descs) {
+    Bytes out;
+    auto r = service.get(desc.var, desc.version, desc.box, &out);
+    EXPECT_TRUE(r.status.ok())
+        << "seed " << seed << " unreadable " << desc.to_string();
+    if (const Bytes* mirror = driver.mirror(desc.var);
+        mirror != nullptr && r.status.ok()) {
+      auto expected =
+          staging::extract_region(*mirror, plan.domain, desc.box, elem);
+      ASSERT_TRUE(expected.ok()) << "seed " << seed;
+      EXPECT_TRUE(out == expected.value())
+          << "seed " << seed << " bytes diverge from mirror for "
+          << desc.to_string();
+    }
+    const staging::ObjectLocation* locp = service.directory().find(desc);
+    if (locp == nullptr) continue;  // retired by a repair during the audit
+    const staging::ObjectLocation& loc = *locp;
+    if (loc.protection == staging::Protection::kEncoded) {
+      const std::size_t n = loc.k + static_cast<std::size_t>(loc.m);
+      auto desired = service.placement_of(desc.box, n);
+      if (desired.size() < n) continue;
+      EXPECT_EQ(loc.stripe_servers, desired)
+          << "seed " << seed << " misplaced stripe " << desc.to_string();
+    } else {
+      const std::size_t count = 1 + loc.replicas.size();
+      auto desired = service.placement_of(desc.box, count);
+      if (desired.size() < count) continue;
+      std::vector<ServerId> holders;
+      holders.push_back(loc.primary);
+      holders.insert(holders.end(), loc.replicas.begin(),
+                     loc.replicas.end());
+      std::sort(holders.begin(), holders.end());
+      std::sort(desired.begin(), desired.end());
+      EXPECT_EQ(holders, desired)
+          << "seed " << seed << " misplaced copies " << desc.to_string();
+    }
+  }
+}
+
+TEST_P(ChaosSeedTest, MembershipTransitionsRaceTheStorm) {
+  // Pool-map placement with the full elastic-membership lifecycle
+  // racing the workload: a join (step 3), a kill+replace recovery cycle
+  // (steps 4/5), a drain (step 6) and a back-to-back drain+join
+  // (step 9), all while a continuous scrubber sweeps the directory.
+  // After the run a conform-only rebalance sweeps up any straggler
+  // placed during a kill window, then the audit asserts every object is
+  // readable and placed per the final map version.
+  std::uint64_t seed = GetParam();
+  MechanismParams params = corec_chaos_params();
+  params.recovery.mtbf_seconds = 0.08;
+
+  auto opts = chaos_service_options();
+  opts.placement = staging::PlacementMode::kPoolMap;  // always, here
+  sim::Simulation sim;
+  staging::StagingService service(opts, &sim,
+                                  make_scheme(Mechanism::kCorec, params));
+  WorkloadDriver driver(&service, {.verify_reads = true});
+
+  membership::ManagerOptions mm;
+  mm.replication_group = params.n_level + 1;
+  membership::Manager manager(&service, mm);
+
+  resilience::ScrubOptions scrub;
+  scrub.mtbf_seconds = 0.08;
+  resilience::Scrubber scrubber(&service, scrub);
+  scrubber.start();
+
+  Rng rng(seed * 769 + 5);
+  const std::uint32_t initial =
+      static_cast<std::uint32_t>(service.num_servers());
+  const auto kill_victim = static_cast<ServerId>(rng.uniform(initial));
+  const auto drain_a = static_cast<ServerId>(rng.uniform(initial));
+  const auto drain_b = static_cast<ServerId>(
+      (drain_a + 1 + rng.uniform(initial - 1)) % initial);
+
+  driver.add_hook(3, [&] {
+    manager.begin_join(sim.now());
+    manager.run_to_completion(sim.now());
+  });
+  driver.add_hook(4, [&service, kill_victim] {
+    service.kill_server(kill_victim);
+  });
+  driver.add_hook(5, [&service, kill_victim] {
+    service.replace_server(kill_victim);
+  });
+  driver.add_hook(6, [&, seed] {
+    ASSERT_TRUE(manager.begin_drain(drain_a, sim.now()).ok())
+        << "seed " << seed;
+    manager.run_to_completion(sim.now());
+  });
+  driver.add_hook(9, [&, seed] {
+    // Back-to-back shrink + grow: the second transition starts under
+    // the map version the first one just published.
+    ASSERT_TRUE(manager.begin_drain(drain_b, sim.now()).ok())
+        << "seed " << seed;
+    manager.run_to_completion(sim.now());
+    manager.begin_join(sim.now());
+    manager.run_to_completion(sim.now());
+  });
+
+  auto plan = make_synthetic_case(3, chaos_workload());
+  auto metrics = driver.run(plan);
+  EXPECT_EQ(metrics.corrupt_reads(), 0u) << "seed " << seed;
+  EXPECT_EQ(metrics.data_loss_reads(), 0u) << "seed " << seed;
+  ASSERT_EQ(manager.history().size(), 4u) << "seed " << seed;
+  for (const auto& t : manager.history()) {
+    EXPECT_TRUE(t.complete) << "seed " << seed << " " << to_string(t.kind);
+    EXPECT_FALSE(t.aborted) << "seed " << seed;
+  }
+  EXPECT_EQ(service.pool_map().state_of(drain_a),
+            membership::TargetState::kDown);
+  EXPECT_EQ(service.pool_map().state_of(drain_b),
+            membership::TargetState::kDown);
+
+  // Conform stragglers (objects placed while kill_victim was dead route
+  // around it and look misplaced once it is back), then audit under the
+  // final map.
+  ASSERT_TRUE(manager.begin_rebalance(sim.now()).ok());
+  manager.run_to_completion(sim.now());
+  audit_directory(service);
+  audit_accounting(service);
+  audit_encoded_mirror(service, driver, plan, seed);
+  audit_membership_placement(service, driver, plan, seed);
 }
 
 }  // namespace

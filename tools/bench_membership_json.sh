@@ -1,0 +1,35 @@
+#!/usr/bin/env sh
+# Runs the elastic-membership rebalance benchmark and writes one
+# machine-readable record (default BENCH_membership.json). The record
+# has two latency profiles for the same closed-loop readers — steady
+# state, and racing a continuous drain+join migration loop — plus the
+# rebalancer's own throughput (transitions, objects and MB moved, MB/s
+# of migration busy time). The headline acceptance number is
+# p99_rebuild_over_steady: client-visible get p99 during rebuild must
+# stay within 3x of steady state, and the wrapper fails if it does not,
+# so a rebalance loop that stalls readers turns the perf-smoke job red.
+#
+# Env knobs: BENCH_MEMBERSHIP_SECONDS (per phase, default 1.0),
+# BENCH_MEMBERSHIP_OBJECTS, BENCH_MEMBERSHIP_READERS.
+#
+# Usage: bench_membership_json.sh <micro_membership-binary> [out.json]
+set -eu
+
+MICRO=${1:?usage: bench_membership_json.sh micro_membership [out.json]}
+OUT=${2:-BENCH_membership.json}
+
+SECONDS_PER_PHASE=${BENCH_MEMBERSHIP_SECONDS:-1.0}
+OBJECTS=${BENCH_MEMBERSHIP_OBJECTS:-4096}
+READERS=${BENCH_MEMBERSHIP_READERS:-4}
+
+"$MICRO" --seconds "$SECONDS_PER_PHASE" --objects "$OBJECTS" \
+  --readers "$READERS" > "$OUT"
+
+RATIO=$(sed -n 's/.*"p99_rebuild_over_steady": \([0-9.]*\).*/\1/p' "$OUT")
+echo "wrote $OUT (p99 rebuild/steady = ${RATIO:-?})"
+if [ -n "$RATIO" ]; then
+  if awk "BEGIN { exit !($RATIO > 3.0) }"; then
+    echo "FAIL: rebuild p99 is ${RATIO}x steady state (bound: 3x)" >&2
+    exit 1
+  fi
+fi

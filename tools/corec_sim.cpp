@@ -31,6 +31,7 @@
 #include "rpc/server.hpp"
 #include "staging/thread_fabric.hpp"
 #include "core/corec_scheme.hpp"
+#include "membership/manager.hpp"
 #include "meta/meta_client.hpp"
 #include "net/cost_model.hpp"
 #include "meta/meta_service.hpp"
@@ -72,6 +73,11 @@ struct CliOptions {
   // step:server pairs
   std::vector<std::pair<Version, ServerId>> fails;
   std::vector<std::pair<Version, ServerId>> replaces;
+  // Elastic membership: join a fresh server at step TS, drain server
+  // SRV at step TS. Either implies pool-map placement.
+  std::vector<Version> joins;
+  std::vector<std::pair<Version, ServerId>> drains;
+  bool pool_placement = false;
   // Real-thread fabric exercise: 0 = run the virtual-time simulator
   // (default); N > 0 drives a ThreadFabric from N client threads.
   std::size_t threads = 0;
@@ -101,6 +107,14 @@ void usage() {
       "  --floor F           storage efficiency floor (default 0.67)\n"
       "  --fail TS:SRV       kill server SRV at step TS (repeatable)\n"
       "  --replace TS:SRV    replace server SRV at step TS (repeatable)\n"
+      "  --join TS           grow the cluster by one server at step TS\n"
+      "                      and rebalance onto it (repeatable; implies\n"
+      "                      --pool-placement)\n"
+      "  --drain TS:SRV      drain server SRV at step TS: migrate its\n"
+      "                      data off, then retire it (repeatable;\n"
+      "                      implies --pool-placement)\n"
+      "  --pool-placement    route objects with the versioned pool map\n"
+      "                      (HRW) instead of the static SFC ring\n"
       "  --meta K            replicate the metadata directory on a\n"
       "                      primary + K followers (default: local)\n"
       "  --meta-kill TS      kill the metadata primary process at step\n"
@@ -226,6 +240,16 @@ bool parse_args(int argc, char** argv, CliOptions* cli) {
       std::pair<Version, ServerId> p;
       if (!parse_pair(next(), &p)) return false;
       cli->replaces.push_back(p);
+    } else if (a == "--join") {
+      cli->joins.push_back(static_cast<Version>(std::atol(next())));
+      cli->pool_placement = true;
+    } else if (a == "--drain") {
+      std::pair<Version, ServerId> p;
+      if (!parse_pair(next(), &p)) return false;
+      cli->drains.push_back(p);
+      cli->pool_placement = true;
+    } else if (a == "--pool-placement") {
+      cli->pool_placement = true;
     } else {
       std::fprintf(stderr, "unknown argument '%s'\n", a.c_str());
       return false;
@@ -689,6 +713,9 @@ int main(int argc, char** argv) {
   service_opts.topology =
       net::Topology(cli.cabinets, cli.servers / cli.cabinets, 1);
   service_opts.seed = cli.seed;
+  if (cli.pool_placement) {
+    service_opts.placement = staging::PlacementMode::kPoolMap;
+  }
   if (cli.calibrate) {
     service_opts.cost = net::CostModel::calibrated();
     std::fprintf(stderr,
@@ -745,6 +772,29 @@ int main(int argc, char** argv) {
   for (auto [step, server] : cli.replaces) {
     driver.add_hook(
         step, [&service, s = server] { service.replace_server(s); });
+  }
+  std::unique_ptr<membership::Manager> member_mgr;
+  if (!cli.joins.empty() || !cli.drains.empty()) {
+    membership::ManagerOptions mm_opts;
+    mm_opts.replication_group = cli.n_level + 1;
+    member_mgr = std::make_unique<membership::Manager>(&service, mm_opts);
+    for (Version step : cli.joins) {
+      driver.add_hook(step, [&sim, mgr = member_mgr.get()] {
+        mgr->begin_join(sim.now());
+        mgr->run_to_completion(sim.now());
+      });
+    }
+    for (auto [step, server] : cli.drains) {
+      driver.add_hook(step, [&sim, mgr = member_mgr.get(), s = server] {
+        Status st = mgr->begin_drain(s, sim.now());
+        if (!st.ok()) {
+          std::fprintf(stderr, "--drain %u: %s\n", s,
+                       st.to_string().c_str());
+          return;
+        }
+        mgr->run_to_completion(sim.now());
+      });
+    }
   }
   std::unique_ptr<resilience::Scrubber> scrubber;
   if (cli.scrub_mtbf > 0) {
@@ -845,6 +895,26 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(in.mismatches),
                   static_cast<unsigned long long>(in.quarantined),
                   armed.size());
+    }
+  }
+  if (member_mgr != nullptr) {
+    for (const auto& t : member_mgr->history()) {
+      std::string target_label =
+          t.target == kInvalidServer ? ""
+                                     : " s" + std::to_string(t.target);
+      std::printf("membership      : %s%s -> map v%llu: %llu scanned, "
+                  "%llu moved, %llu rebuilt, %llu skipped, %llu B moved "
+                  "in %.3f s (token wait %.3f s)%s\n",
+                  membership::to_string(t.kind), target_label.c_str(),
+                  static_cast<unsigned long long>(t.map_version),
+                  static_cast<unsigned long long>(t.objects_scanned),
+                  static_cast<unsigned long long>(t.objects_moved),
+                  static_cast<unsigned long long>(t.objects_rebuilt),
+                  static_cast<unsigned long long>(t.objects_skipped),
+                  static_cast<unsigned long long>(t.bytes_moved),
+                  to_seconds(t.finished - t.started),
+                  to_seconds(t.token_wait),
+                  t.aborted ? " [ABORTED]" : "");
     }
   }
   if (scrubber != nullptr) {

@@ -7,15 +7,37 @@
 //
 //   micro_rpc --port P [--host H] [--clients 4] [--seconds 2]
 //             [--mix put|get|mixed] [--bytes 4096] [--rate OPS]
+//             [--connections N] [--inflight M] [--pipeline D]
 //
 // --rate > 0 runs open-loop: ops are released on an exponential
 // arrival schedule per client and latency includes queueing delay
 // behind a slow server (coordinated omission is not hidden).
 // --rate 0 (default) runs closed-loop.
+//
+// --connections N opens N total TCP connections spread across the
+// client processes (eagerly connected before the measured window), and
+// --inflight M drives M concurrent requester threads per process over
+// that pool — the C10k sweep shape: thousands of mostly-idle open
+// connections with a bounded number of in-flight requests, which is
+// exactly what a staging service absorbing bursty checkpoint ranks
+// sees.
+//
+// --pipeline D switches each child to a raw-socket event-driven
+// driver: one thread polls the child's whole connection share, keeping
+// up to D requests outstanding per connection (responses matched by
+// request id). The bursts of D back-to-back requests are what exercise
+// the server's writev coalescing — the library client's
+// one-outstanding-per-channel discipline never queues two responses on
+// one connection, so syscalls-per-frame can't drop below 1 without
+// this mode. --inflight is ignored when --pipeline is set.
+#include <poll.h>
 #include <sys/mman.h>
+#include <sys/socket.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <cerrno>
 #include <chrono>
 #include <cmath>
 #include <cstdint>
@@ -25,9 +47,14 @@
 #include <random>
 #include <string>
 #include <thread>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "rpc/client.hpp"
+#include "rpc/frame.hpp"
+#include "rpc/protocol.hpp"
+#include "rpc/socket.hpp"
 
 namespace {
 
@@ -84,9 +111,18 @@ struct Config {
   double seconds = 2.0;
   std::string mix = "mixed";  // put | get | mixed
   std::size_t payload_bytes = 4096;
-  double rate = 0.0;  // per-client target ops/s; 0 = closed loop
+  double rate = 0.0;  // per-thread target ops/s; 0 = closed loop
+  std::size_t connections = 0;  // total open channels; 0 = 2 per client
+  std::size_t inflight = 1;     // requester threads per client process
+  std::size_t pipeline = 0;     // outstanding per connection; 0 = off
   std::uint64_t seed = 42;
 };
+
+std::size_t conns_per_child(const Config& cfg) {
+  return cfg.connections > 0
+             ? std::max<std::size_t>(1, cfg.connections / cfg.clients)
+             : 2;
+}
 
 Bytes pattern(std::size_t n, std::uint64_t seed) {
   Bytes b(n);
@@ -98,39 +134,34 @@ Bytes pattern(std::size_t n, std::uint64_t seed) {
 
 corec::staging::ObjectDescriptor desc_of(std::size_t child, int entity,
                                          Version version) {
-  const auto cell = static_cast<corec::geom::Coord>(child) * 512 + entity;
+  // 8192 entity slots per child keep multi-thread keyspaces disjoint
+  // across children (inflight * 64 entities each).
+  const auto cell = static_cast<corec::geom::Coord>(child) * 8192 + entity;
   return {static_cast<VarId>(9000 + child), version,
           corec::geom::BoundingBox::line(cell * 8, cell * 8 + 7),
           corec::staging::kWholeObject};
 }
 
-int run_child(const Config& cfg, std::size_t child, ChildResult* out) {
+// One requester thread's closed/open loop over its private entity
+// range; results land in a thread-local block the child merges.
+void run_requester(const Config& cfg, Client& client, std::size_t child,
+                   std::size_t thread, ChildResult* out) {
   constexpr int kEntities = 64;
-  ClientOptions copts;
-  copts.host = cfg.host;
-  copts.port = cfg.port;
-  copts.pool_size = 2;
-  copts.max_retries = 2;
-  copts.retry_backoff_ms = 1;
-  Client client(copts);
-  if (!client.ping().ok()) {
-    out->errors += 1;
-    return 1;
-  }
+  const int base = static_cast<int>(thread) * kEntities;
 
   // Seed the keyspace so gets always hit.
   std::vector<Version> live(kEntities, 1);
   for (int e = 0; e < kEntities; ++e) {
     if (!client
-             .put(desc_of(child, e, 1),
-                  PayloadBuffer::wrap(
-                      pattern(cfg.payload_bytes, child * 1000 + e)))
+             .put(desc_of(child, base + e, 1),
+                  PayloadBuffer::wrap(pattern(
+                      cfg.payload_bytes, child * 1000 + base + e)))
              .ok()) {
       out->errors += 1;
     }
   }
 
-  std::mt19937_64 rng(cfg.seed * 7919 + child);
+  std::mt19937_64 rng(cfg.seed * 7919 + child * 131 + thread);
   std::uniform_int_distribution<int> pick_entity(0, kEntities - 1);
   std::uniform_int_distribution<int> pick_op(0, 99);
   std::exponential_distribution<double> interarrival(
@@ -159,14 +190,16 @@ int run_child(const Config& cfg, std::size_t child, ChildResult* out) {
     if (is_put) {
       const Version v = ++live[entity];
       ok = client
-               .put(desc_of(child, entity, v),
+               .put(desc_of(child, base + entity, v),
                     PayloadBuffer::wrap(
                         pattern(cfg.payload_bytes,
-                                child * 1000 + entity + v)))
+                                child * 1000 + base + entity + v)))
                .ok();
-      if (ok && v > 1) (void)client.erase(desc_of(child, entity, v - 1));
+      if (ok && v > 1) {
+        (void)client.erase(desc_of(child, base + entity, v - 1));
+      }
     } else {
-      auto got = client.get(desc_of(child, entity, live[entity]));
+      auto got = client.get(desc_of(child, base + entity, live[entity]));
       ok = got.ok();
       if (ok) moved = got->payload.size();
     }
@@ -183,6 +216,228 @@ int run_child(const Config& cfg, std::size_t child, ChildResult* out) {
       out->errors += 1;
     }
   }
+}
+
+// ---- pipelined raw-socket driver (--pipeline D) --------------------------
+// Frames are built by hand and responses matched by request id, so one
+// connection carries D concurrent ops. Each top-up writes the whole
+// burst with a single send, which lands server-side as a multi-frame
+// recv batch — the shape that exercises writev response coalescing.
+
+struct PipeConn {
+  corec::rpc::OwnedFd fd;
+  corec::rpc::FrameAssembler assembler;
+  // request id -> (send time, was-a-put)
+  std::unordered_map<std::uint64_t, std::pair<Clock::time_point, bool>>
+      inflight;
+  bool dead = false;
+};
+
+int run_pipelined_child(const Config& cfg, std::size_t child,
+                        ChildResult* out) {
+  using corec::rpc::FrameHeader;
+  using corec::rpc::OpCode;
+  constexpr int kEntities = 64;
+
+  // Seed the read keyspace (version 1, never overwritten) through the
+  // library client so pipelined gets always hit; pipelined puts write
+  // ever-fresh versions so no in-flight get races an overwrite.
+  {
+    ClientOptions copts;
+    copts.host = cfg.host;
+    copts.port = cfg.port;
+    copts.pool_size = 1;
+    copts.max_retries = 2;
+    copts.retry_backoff_ms = 1;
+    Client seeder(copts);
+    for (int e = 0; e < kEntities; ++e) {
+      if (!seeder
+               .put(desc_of(child, e, 1),
+                    PayloadBuffer::wrap(
+                        pattern(cfg.payload_bytes, child * 1000 + e)))
+               .ok()) {
+        out->errors += 1;
+        return 1;
+      }
+    }
+  }
+
+  const std::size_t k = conns_per_child(cfg);
+  std::vector<PipeConn> conns(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    auto fd = corec::rpc::connect_tcp(cfg.host, cfg.port, 5000);
+    if (!fd.ok()) {
+      out->errors += 1;
+      return 1;
+    }
+    conns[i].fd = std::move(*fd);
+    (void)corec::rpc::set_nonblocking(conns[i].fd.get());
+  }
+
+  std::mt19937_64 rng(cfg.seed * 7919 + child * 131);
+  std::uniform_int_distribution<int> pick_entity(0, kEntities - 1);
+  std::uniform_int_distribution<int> pick_op(0, 99);
+  std::uint64_t next_id = 1;
+  Version next_version = 2;
+
+  const auto deadline =
+      Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double>(cfg.seconds));
+  std::vector<pollfd> pfds(k);
+  Bytes burst;
+  while (Clock::now() < deadline) {
+    // Top up every connection to D outstanding in one send burst.
+    std::size_t alive = 0;
+    for (PipeConn& pc : conns) {
+      if (pc.dead) continue;
+      alive += 1;
+      burst.clear();
+      const auto now = Clock::now();
+      while (pc.inflight.size() < cfg.pipeline) {
+        const std::uint64_t id = next_id++;
+        const int entity = pick_entity(rng);
+        const bool is_put =
+            cfg.mix == "put" || (cfg.mix == "mixed" && pick_op(rng) < 50);
+        FrameHeader h;
+        h.request_id = id;
+        if (is_put) {
+          corec::rpc::PutRequest req;
+          req.desc = desc_of(child, entity, next_version++);
+          PayloadBuffer payload = PayloadBuffer::wrap(
+              pattern(cfg.payload_bytes, child * 1000 + entity));
+          req.checksum = payload.crc32c();
+          req.logical_size = payload.size();
+          const Bytes prefix = corec::rpc::encode_put_prefix(req);
+          h.opcode = static_cast<std::uint8_t>(OpCode::kPut);
+          h.body_len =
+              static_cast<std::uint32_t>(prefix.size() + payload.size());
+          corec::rpc::encode_frame_header(h, &burst);
+          burst.insert(burst.end(), prefix.begin(), prefix.end());
+          const corec::ByteSpan pay = payload.span();
+          burst.insert(burst.end(), pay.data(), pay.data() + pay.size());
+        } else {
+          const Bytes body =
+              corec::rpc::encode_get_request(desc_of(child, entity, 1));
+          h.opcode = static_cast<std::uint8_t>(OpCode::kGet);
+          h.body_len = static_cast<std::uint32_t>(body.size());
+          corec::rpc::encode_frame_header(h, &burst);
+          burst.insert(burst.end(), body.begin(), body.end());
+        }
+        pc.inflight.emplace(id, std::make_pair(now, is_put));
+      }
+      if (!burst.empty() &&
+          !corec::rpc::send_all(pc.fd.get(), burst, 5000).ok()) {
+        pc.dead = true;
+        out->errors += 1;
+      }
+    }
+    if (alive == 0) return 1;
+
+    // Reap whatever responses have arrived.
+    for (std::size_t i = 0; i < k; ++i) {
+      pfds[i].fd = conns[i].dead ? -1 : conns[i].fd.get();
+      pfds[i].events = POLLIN;
+      pfds[i].revents = 0;
+    }
+    if (::poll(pfds.data(), static_cast<nfds_t>(k), 50) <= 0) continue;
+    for (std::size_t i = 0; i < k; ++i) {
+      if (!(pfds[i].revents & (POLLIN | POLLERR | POLLHUP))) continue;
+      PipeConn& pc = conns[i];
+      for (;;) {
+        corec::MutableByteSpan span = pc.assembler.next_span();
+        if (span.empty()) {
+          pc.dead = true;
+          out->errors += 1;
+          break;
+        }
+        const ssize_t n =
+            ::recv(pc.fd.get(), span.data(), span.size(), MSG_DONTWAIT);
+        if (n < 0) {
+          if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+          if (errno == EINTR) continue;
+          pc.dead = true;
+          out->errors += 1;
+          break;
+        }
+        if (n == 0) {
+          pc.dead = true;
+          out->errors += 1;
+          break;
+        }
+        if (!pc.assembler.advance(static_cast<std::size_t>(n)).ok()) {
+          pc.dead = true;
+          out->errors += 1;
+          break;
+        }
+        while (pc.assembler.frame_ready()) {
+          corec::rpc::Frame f = pc.assembler.take_frame();
+          auto it = pc.inflight.find(f.header.request_id);
+          if (it == pc.inflight.end()) {
+            out->errors += 1;
+            continue;
+          }
+          const double us = std::chrono::duration<double, std::micro>(
+                                Clock::now() - it->second.first)
+                                .count();
+          const bool was_put = it->second.second;
+          pc.inflight.erase(it);
+          if (f.header.code == 0) {
+            out->ops += 1;
+            out->bytes += was_put ? cfg.payload_bytes : f.body.size();
+            out->hist[bucket_of(us)] += 1;
+            const auto us_int = static_cast<std::uint64_t>(us);
+            if (us_int > out->max_us) out->max_us = us_int;
+          } else {
+            out->errors += 1;
+          }
+        }
+        if (pc.dead) break;
+      }
+    }
+  }
+  return 0;
+}
+
+int run_child(const Config& cfg, std::size_t child, ChildResult* out) {
+  if (cfg.pipeline > 0) return run_pipelined_child(cfg, child, out);
+  ClientOptions copts;
+  copts.host = cfg.host;
+  copts.port = cfg.port;
+  copts.pool_size =
+      cfg.connections > 0
+          ? std::max<std::size_t>(1, cfg.connections / cfg.clients)
+          : 2;
+  copts.max_retries = 2;
+  copts.retry_backoff_ms = 1;
+  Client client(copts);
+  if (!client.ping().ok()) {
+    out->errors += 1;
+    return 1;
+  }
+  // Open the full connection share up front so the sweep measures a
+  // server holding `connections` registered fds, not a lazily-growing
+  // pool.
+  if (cfg.connections > 0 && !client.connect_pool().ok()) {
+    out->errors += 1;
+    return 1;
+  }
+
+  std::vector<ChildResult> per_thread(cfg.inflight);
+  std::vector<std::thread> threads;
+  threads.reserve(cfg.inflight);
+  for (std::size_t t = 0; t < cfg.inflight; ++t) {
+    threads.emplace_back([&, t] {
+      run_requester(cfg, client, child, t, &per_thread[t]);
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (const ChildResult& r : per_thread) {
+    out->ops += r.ops;
+    out->errors += r.errors;
+    out->bytes += r.bytes;
+    if (r.max_us > out->max_us) out->max_us = r.max_us;
+    for (std::size_t b = 0; b < kBuckets; ++b) out->hist[b] += r.hist[b];
+  }
   return 0;
 }
 
@@ -190,7 +445,8 @@ void usage() {
   std::fprintf(stderr,
                "usage: micro_rpc --port P [--host H] [--clients N] "
                "[--seconds S] [--mix put|get|mixed] [--bytes B] "
-               "[--rate OPS] [--seed N]\n");
+               "[--rate OPS] [--connections N] [--inflight M] "
+               "[--pipeline D] [--seed N]\n");
 }
 
 }  // namespace
@@ -220,6 +476,12 @@ int main(int argc, char** argv) {
       cfg.payload_bytes = static_cast<std::size_t>(std::atol(next()));
     } else if (a == "--rate") {
       cfg.rate = std::atof(next());
+    } else if (a == "--connections") {
+      cfg.connections = static_cast<std::size_t>(std::atol(next()));
+    } else if (a == "--inflight") {
+      cfg.inflight = static_cast<std::size_t>(std::atol(next()));
+    } else if (a == "--pipeline") {
+      cfg.pipeline = static_cast<std::size_t>(std::atol(next()));
     } else if (a == "--seed") {
       cfg.seed = std::strtoull(next(), nullptr, 10);
     } else {
@@ -227,7 +489,7 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
-  if (cfg.port == 0 || cfg.clients == 0 ||
+  if (cfg.port == 0 || cfg.clients == 0 || cfg.inflight == 0 ||
       (cfg.mix != "put" && cfg.mix != "get" && cfg.mix != "mixed")) {
     usage();
     return 2;
@@ -278,14 +540,17 @@ int main(int argc, char** argv) {
     }
   }
 
+  const std::size_t pool_per_client = conns_per_child(cfg);
   std::printf(
-      "{\"mix\":\"%s\",\"clients\":%zu,\"seconds\":%.3f,"
+      "{\"mix\":\"%s\",\"clients\":%zu,\"connections\":%zu,"
+      "\"inflight\":%zu,\"pipeline\":%zu,\"seconds\":%.3f,"
       "\"payload_bytes\":%zu,\"rate_per_client\":%.1f,"
       "\"ops\":%llu,\"errors\":%llu,"
       "\"throughput_ops_s\":%.1f,\"throughput_mib_s\":%.2f,"
       "\"p50_us\":%.1f,\"p95_us\":%.1f,\"p99_us\":%.1f,"
       "\"max_us\":%llu}\n",
-      cfg.mix.c_str(), cfg.clients, wall, cfg.payload_bytes, cfg.rate,
+      cfg.mix.c_str(), cfg.clients, pool_per_client * cfg.clients,
+      cfg.inflight, cfg.pipeline, wall, cfg.payload_bytes, cfg.rate,
       static_cast<unsigned long long>(ops),
       static_cast<unsigned long long>(errors),
       static_cast<double>(ops) / wall,

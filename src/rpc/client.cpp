@@ -54,6 +54,14 @@ Status Client::ensure_connected(Channel& ch) {
   return Status::Ok();
 }
 
+Status Client::connect_pool() {
+  for (auto& ch : channels_) {
+    std::lock_guard<std::mutex> lock(ch->mu);
+    COREC_RETURN_IF_ERROR(ensure_connected(*ch));
+  }
+  return Status::Ok();
+}
+
 Status Client::call_once(Channel& ch, OpCode op, std::uint64_t request_id,
                          const Bytes& prefix, const PayloadBuffer& payload,
                          Frame* response) {

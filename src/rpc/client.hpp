@@ -74,6 +74,12 @@ class Client {
 
   Status ping();
 
+  /// Eagerly connects every pooled channel (normally channels connect
+  /// on first use). C10k-style load generators call this so the full
+  /// connection count is open — and registered server-side — before
+  /// the measured window starts.
+  Status connect_pool();
+
   /// Stores `payload` under `desc`. The payload's CRC32C travels with
   /// the request and is recorded server-side for end-to-end integrity.
   Status put(const staging::ObjectDescriptor& desc, PayloadBuffer payload,

@@ -10,6 +10,29 @@
 
 namespace corec::rpc {
 
+namespace {
+
+// Signals the eventfd, retrying instead of dropping the return value.
+// EINTR retries unconditionally; EAGAIN on the non-blocking eventfd
+// means the 64-bit counter is saturated, i.e. a wake is already
+// pending and the loop thread will drain it, so after a bounded retry
+// the wake counts as delivered.
+void signal_eventfd(int fd) {
+  const std::uint64_t one = 1;
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    const ssize_t n = ::write(fd, &one, sizeof(one));
+    if (n == static_cast<ssize_t>(sizeof(one))) return;
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && errno == EAGAIN) {
+      // Counter full: the pending wake already covers this request.
+      return;
+    }
+    return;  // unrecoverable (closed fd); stop() handles shutdown
+  }
+}
+
+}  // namespace
+
 EventLoop::EventLoop()
     : epoll_(::epoll_create1(0)),
       wake_(::eventfd(0, EFD_NONBLOCK)) {
@@ -89,8 +112,7 @@ void EventLoop::run() {
 
 void EventLoop::stop() {
   stopping_.store(true, std::memory_order_release);
-  const std::uint64_t one = 1;
-  [[maybe_unused]] ssize_t n = ::write(wake_.get(), &one, sizeof(one));
+  signal_eventfd(wake_.get());
 }
 
 void EventLoop::post(std::function<void()> task) {
@@ -98,8 +120,7 @@ void EventLoop::post(std::function<void()> task) {
     std::lock_guard<std::mutex> lock(posted_mu_);
     posted_.push_back(std::move(task));
   }
-  const std::uint64_t one = 1;
-  [[maybe_unused]] ssize_t n = ::write(wake_.get(), &one, sizeof(one));
+  signal_eventfd(wake_.get());
 }
 
 }  // namespace corec::rpc

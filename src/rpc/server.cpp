@@ -5,6 +5,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <cstdio>
 #include <utility>
 
 #include "common/failpoint.hpp"
@@ -17,9 +18,27 @@ using staging::ObjectLocation;
 using staging::StoredKind;
 using staging::StoredObject;
 
+namespace {
+
+std::size_t resolve_num_loops(std::size_t requested) {
+  if (requested > 0) return requested;
+  const std::size_t hw = std::thread::hardware_concurrency();
+  const std::size_t cap = hw == 0 ? 1 : hw;
+  return cap < 4 ? cap : 4;
+}
+
+}  // namespace
+
 Server::Server(ServerOptions options)
     : options_(std::move(options)),
-      fabric_(options_.num_servers, options_.fabric) {}
+      fabric_(options_.num_servers, options_.fabric) {
+  const std::size_t n = resolve_num_loops(options_.num_loops);
+  loops_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    loops_.push_back(std::make_unique<LoopShard>());
+    loops_.back()->loop = std::make_unique<EventLoop>();
+  }
+}
 
 Server::~Server() { stop(); }
 
@@ -27,53 +46,85 @@ Status Server::start() {
   if (running_.load(std::memory_order_acquire)) {
     return Status::FailedPrecondition("server already running");
   }
-  if (!loop_.valid()) {
-    return Status::Internal("event loop initialization failed");
+  for (const auto& shard : loops_) {
+    if (!shard->loop->valid()) {
+      return Status::Internal("event loop initialization failed");
+    }
   }
   COREC_ASSIGN_OR_RETURN(listen_fd_,
                          listen_tcp(options_.host, options_.port));
   COREC_ASSIGN_OR_RETURN(bound_port_, local_port(listen_fd_.get()));
-  COREC_RETURN_IF_ERROR(loop_.add(listen_fd_.get(), EPOLLIN,
-                                  [this](std::uint32_t) { on_accept(); }));
+  // Loop 0 doubles as the acceptor; connections fan out from there.
+  COREC_RETURN_IF_ERROR(loops_[0]->loop->add(
+      listen_fd_.get(), EPOLLIN, [this](std::uint32_t) { on_accept(); }));
   running_.store(true, std::memory_order_release);
-  loop_thread_ = std::thread([this] { loop_.run(); });
+  for (auto& shard : loops_) {
+    shard->thread = std::thread([loop = shard->loop.get()] { loop->run(); });
+  }
   return Status::Ok();
 }
 
 void Server::stop() {
   if (!running_.exchange(false, std::memory_order_acq_rel)) return;
   // Stop accepting first, then wait for pool-dispatched ops to post
-  // their completions (the loop is still running to absorb them),
-  // then wind the loop down.
-  loop_.post([this] {
+  // their completions (the loops are still running to absorb them),
+  // then wind the loops down.
+  loops_[0]->loop->post([this] {
     if (listen_fd_.valid()) {
-      loop_.remove(listen_fd_.get());
+      loops_[0]->loop->remove(listen_fd_.get());
       listen_fd_.reset();
     }
   });
   fabric_.drain();
-  loop_.stop();
-  if (loop_thread_.joinable()) loop_thread_.join();
-  for (auto& [fd, conn] : connections_) {
-    conn->closed = true;
-    ::close(fd);
+  for (auto& shard : loops_) shard->loop->stop();
+  for (auto& shard : loops_) {
+    if (shard->thread.joinable()) shard->thread.join();
   }
-  connections_.clear();
-  active_.store(0, std::memory_order_relaxed);
+  for (auto& shard : loops_) {
+    for (auto& [fd, conn] : shard->connections) {
+      conn->closed = true;
+      ::close(fd);
+    }
+    shard->connections.clear();
+    shard->active.store(0, std::memory_order_relaxed);
+  }
 }
 
 ServerStatsSnapshot Server::stats() const {
   ServerStatsSnapshot s;
   s.accepted = accepted_.load(std::memory_order_relaxed);
-  s.active = active_.load(std::memory_order_relaxed);
-  s.frames_in = frames_in_.load(std::memory_order_relaxed);
-  s.frames_out = frames_out_.load(std::memory_order_relaxed);
-  s.bytes_in = bytes_in_.load(std::memory_order_relaxed);
-  s.bytes_out = bytes_out_.load(std::memory_order_relaxed);
   s.protocol_errors = protocol_errors_.load(std::memory_order_relaxed);
   s.backpressure_pauses =
       backpressure_pauses_.load(std::memory_order_relaxed);
+  s.accept_pauses = accept_pauses_.load(std::memory_order_relaxed);
   s.injected_failures = injected_failures_.load(std::memory_order_relaxed);
+  s.per_loop.reserve(loops_.size());
+  for (const auto& shard : loops_) {
+    LoopStatsSnapshot l;
+    l.connections = shard->active.load(std::memory_order_relaxed);
+    l.frames_in = shard->frames_in.load(std::memory_order_relaxed);
+    l.frames_out = shard->frames_out.load(std::memory_order_relaxed);
+    l.bytes_in = shard->bytes_in.load(std::memory_order_relaxed);
+    l.bytes_out = shard->bytes_out.load(std::memory_order_relaxed);
+    l.recv_calls = shard->recv_calls.load(std::memory_order_relaxed);
+    l.writev_calls = shard->writev_calls.load(std::memory_order_relaxed);
+    l.payload_chunks =
+        shard->payload_chunks.load(std::memory_order_relaxed);
+    for (std::size_t b = 0; b < kWritevBatchBuckets; ++b) {
+      l.writev_batch_hist[b] =
+          shard->writev_batch_hist[b].load(std::memory_order_relaxed);
+      s.writev_batch_hist[b] += l.writev_batch_hist[b];
+    }
+    s.active += l.connections;
+    s.frames_in += l.frames_in;
+    s.frames_out += l.frames_out;
+    s.bytes_in += l.bytes_in;
+    s.bytes_out += l.bytes_out;
+    s.recv_calls += l.recv_calls;
+    s.writev_calls += l.writev_calls;
+    s.payload_chunks += l.payload_chunks;
+    s.per_loop.push_back(l);
+  }
   return s;
 }
 
@@ -83,6 +134,10 @@ void Server::on_accept() {
     if (fd < 0) {
       if (errno == EAGAIN || errno == EWOULDBLOCK) return;
       if (errno == EINTR) continue;
+      if (errno == EMFILE || errno == ENFILE) {
+        pause_accept();
+        return;
+      }
       return;
     }
     if (auto hit = COREC_FAILPOINT("rpc.server.accept")) {
@@ -90,22 +145,81 @@ void Server::on_accept() {
       ::close(fd);
       continue;
     }
+    if (auto hit = COREC_FAILPOINT("rpc.server.accept_limit")) {
+      // Simulated fd exhaustion: the descriptor table is "full", so
+      // drop this fd and park the acceptor like a real EMFILE.
+      injected_failures_.fetch_add(1, std::memory_order_relaxed);
+      ::close(fd);
+      pause_accept();
+      return;
+    }
     if (!set_nonblocking(fd).ok() || !set_nodelay(fd).ok()) {
       ::close(fd);
       continue;
     }
-    auto conn = std::make_shared<Connection>(fd, options_.max_frame_bytes);
-    Status st = loop_.add(fd, EPOLLIN, [this, conn](std::uint32_t events) {
-      on_connection_event(conn, events);
-    });
-    if (!st.ok()) {
-      ::close(fd);
-      continue;
+    // Least-connections loop assignment; `active` is bumped here (on
+    // the acceptor) so back-to-back accepts see each other's load.
+    std::size_t target = 0;
+    std::uint64_t best = loops_[0]->active.load(std::memory_order_relaxed);
+    for (std::size_t i = 1; i < loops_.size(); ++i) {
+      const std::uint64_t load =
+          loops_[i]->active.load(std::memory_order_relaxed);
+      if (load < best) {
+        best = load;
+        target = i;
+      }
     }
-    connections_[fd] = conn;
+    loops_[target]->active.fetch_add(1, std::memory_order_relaxed);
     accepted_.fetch_add(1, std::memory_order_relaxed);
-    active_.fetch_add(1, std::memory_order_relaxed);
+    if (target == 0) {
+      adopt_connection(0, fd);
+    } else {
+      loops_[target]->loop->post(
+          [this, target, fd] { adopt_connection(target, fd); });
+    }
   }
+}
+
+void Server::pause_accept() {
+  if (accept_paused_.exchange(true, std::memory_order_acq_rel)) return;
+  accept_pauses_.fetch_add(1, std::memory_order_relaxed);
+  // Logged once per episode; resume is silent.
+  std::fprintf(stderr,
+               "corec-server: fd limit reached (EMFILE/ENFILE); "
+               "pausing accept until a connection closes\n");
+  if (listen_fd_.valid()) {
+    (void)loops_[0]->loop->modify(listen_fd_.get(), 0);
+  }
+}
+
+void Server::resume_accept() {
+  if (!running_.load(std::memory_order_acquire)) return;
+  if (!accept_paused_.exchange(false, std::memory_order_acq_rel)) return;
+  if (!listen_fd_.valid()) return;
+  (void)loops_[0]->loop->modify(listen_fd_.get(), EPOLLIN);
+  // Drain whatever piled up in the backlog while parked.
+  on_accept();
+}
+
+void Server::adopt_connection(std::size_t loop_index, int fd) {
+  WriteQueueOptions wq;
+  wq.segment_bytes = options_.max_segment_bytes;
+  wq.flush_budget_bytes = options_.max_segment_bytes * 4;
+  auto conn = std::make_shared<Connection>(fd, loop_index,
+                                           options_.max_frame_bytes, wq);
+  // EPOLLRDHUP is part of the permanent interest set: a client that
+  // dies while its reads are paused is reaped on the event instead of
+  // lingering until the next failed write.
+  Status st = loops_[loop_index]->loop->add(
+      fd, EPOLLIN | EPOLLRDHUP, [this, conn](std::uint32_t events) {
+        on_connection_event(conn, events);
+      });
+  if (!st.ok()) {
+    ::close(fd);
+    loops_[loop_index]->active.fetch_sub(1, std::memory_order_relaxed);
+    return;
+  }
+  loops_[loop_index]->connections[fd] = conn;
 }
 
 void Server::on_connection_event(const ConnPtr& conn,
@@ -118,20 +232,29 @@ void Server::on_connection_event(const ConnPtr& conn,
   if (events & EPOLLOUT) flush_writes(conn);
   if (conn->closed) return;
   if (events & EPOLLIN) on_readable(conn);
+  if (conn->closed) return;
+  if (events & EPOLLRDHUP) {
+    // Orderly close from the peer. Any bytes that were still readable
+    // were drained above (recv hits EOF and closes); reaching here
+    // means the client is gone — paused reads included — so reap now.
+    close_connection(conn);
+  }
 }
 
 void Server::on_readable(const ConnPtr& conn) {
+  LoopShard& shard = shard_of(conn);
   for (;;) {
-    if (conn->reads_paused || conn->closed) return;
+    if (conn->reads_paused || conn->closed) break;
     MutableByteSpan span = conn->assembler.next_span();
-    if (span.empty()) return;  // poisoned assembler; close is pending
+    if (span.empty()) break;  // poisoned assembler; close is pending
     const ssize_t n = ::recv(conn->fd, span.data(), span.size(), 0);
+    shard.recv_calls.fetch_add(1, std::memory_order_relaxed);
     if (n == 0) {
       close_connection(conn);
       return;
     }
     if (n < 0) {
-      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
       if (errno == EINTR) continue;
       close_connection(conn);
       return;
@@ -148,8 +271,8 @@ void Server::on_readable(const ConnPtr& conn) {
       close_connection(conn);
       return;
     }
-    bytes_in_.fetch_add(static_cast<std::uint64_t>(n),
-                        std::memory_order_relaxed);
+    shard.bytes_in.fetch_add(static_cast<std::uint64_t>(n),
+                             std::memory_order_relaxed);
     Status st = conn->assembler.advance(static_cast<std::size_t>(n));
     if (!st.ok()) {
       protocol_errors_.fetch_add(1, std::memory_order_relaxed);
@@ -159,12 +282,22 @@ void Server::on_readable(const ConnPtr& conn) {
     while (conn->assembler.frame_ready()) {
       handle_frame(conn, conn->assembler.take_frame());
       if (conn->closed) return;
+      if (conn->write_queue.queued_bytes() >=
+          options_.max_write_queue_bytes) {
+        flush_writes(conn);
+        if (conn->closed) return;
+      }
     }
   }
+  // One flush per readable event: a pipelined client's burst of
+  // requests has all been consumed by the time recv hits EAGAIN, so
+  // the queued responses leave in a single sendmsg
+  // (syscalls-per-frame < 1).
+  if (!conn->closed && !conn->write_queue.empty()) flush_writes(conn);
 }
 
 void Server::handle_frame(const ConnPtr& conn, Frame frame) {
-  frames_in_.fetch_add(1, std::memory_order_relaxed);
+  shard_of(conn).frames_in.fetch_add(1, std::memory_order_relaxed);
   if (!valid_opcode(frame.header.opcode)) {
     protocol_errors_.fetch_add(1, std::memory_order_relaxed);
     enqueue_response(
@@ -185,16 +318,18 @@ void Server::handle_frame(const ConnPtr& conn, Frame frame) {
     return;
   }
   // Pool dispatch: the op runs on a fabric worker; the completion hops
-  // back onto the loop thread, which owns the connection state.
+  // back onto the owning loop thread, which owns the connection state.
   conn->inflight += 1;
   fabric_.pool().submit(
       [this, conn, header = frame.header, body = std::move(frame.body)] {
         OutFrame response = execute(header, body);
-        loop_.post([this, conn, response = std::move(response)]() mutable {
-          conn->inflight -= 1;
-          if (conn->closed) return;
-          enqueue_response(conn, std::move(response));
-        });
+        loop_of(conn).post(
+            [this, conn, response = std::move(response)]() mutable {
+              conn->inflight -= 1;
+              if (conn->closed) return;
+              enqueue_response(conn, std::move(response));
+              flush_writes(conn);
+            });
       });
 }
 
@@ -207,7 +342,7 @@ bool Server::stale_map(const FrameHeader& header) const {
          header.map_version != fabric_.map_version();
 }
 
-Server::OutFrame Server::stale_map_response(const FrameHeader& req) {
+OutFrame Server::stale_map_response(const FrameHeader& req) {
   OutFrame out;
   out.head = make_head(
       req, Status::NotMyShard("stale pool map; adopt the attached map"),
@@ -215,7 +350,7 @@ Server::OutFrame Server::stale_map_response(const FrameHeader& req) {
   return out;
 }
 
-Server::OutFrame Server::execute(const FrameHeader& header,
+OutFrame Server::execute(const FrameHeader& header,
                                  const PayloadBuffer& body) {
   const auto op = static_cast<OpCode>(header.opcode);
   // Placement-routed data ops reject stale maps up front so a client
@@ -256,8 +391,9 @@ Server::OutFrame Server::execute(const FrameHeader& header,
       if (!found.ok()) return error_response(header, found.status());
       OutFrame out;
       Bytes prefix = encode_get_response_prefix(*found);
-      // The payload rides as its own write segment: a refcounted view
-      // of the stored buffer, copied only by the kernel socket write.
+      // The payload rides as its own write segments: a refcounted view
+      // of the stored buffer, sliced at the segment cap and copied
+      // only by the kernel socket write.
       out.payload = found->object.data;
       out.head = make_head(header, Status::Ok(), prefix,
                            out.payload.size());
@@ -306,7 +442,7 @@ Server::OutFrame Server::execute(const FrameHeader& header,
   return error_response(header, Status::InvalidArgument("unknown opcode"));
 }
 
-Server::OutFrame Server::error_response(const FrameHeader& req,
+OutFrame Server::error_response(const FrameHeader& req,
                                         const Status& status) {
   OutFrame out;
   out.head = make_head(req, status, {}, 0);
@@ -332,12 +468,11 @@ Bytes Server::make_head(const FrameHeader& req_header, const Status& status,
 
 void Server::enqueue_response(const ConnPtr& conn, OutFrame frame) {
   if (conn->closed) return;
-  frames_out_.fetch_add(1, std::memory_order_relaxed);
-  conn->queued_bytes += frame.size();
-  conn->write_queue.push_back(std::move(frame));
-  flush_writes(conn);
-  if (conn->closed) return;
-  update_read_interest(conn);
+  shard_of(conn).frames_out.fetch_add(1, std::memory_order_relaxed);
+  conn->write_queue.push(std::move(frame));
+  // Deliberately no flush here: the caller owns the flush boundary,
+  // so consecutive responses from one read batch (or one pool
+  // completion hop) coalesce into a single sendmsg.
 }
 
 void Server::flush_writes(const ConnPtr& conn) {
@@ -345,10 +480,10 @@ void Server::flush_writes(const ConnPtr& conn) {
   if (auto hit = COREC_FAILPOINT("rpc.server.write")) {
     injected_failures_.fetch_add(1, std::memory_order_relaxed);
     if (hit.action == failpoint::Action::kPartialWrite &&
-        !conn->write_queue.empty()) {
+        conn->write_queue.front() != nullptr) {
       // Write a truncated piece of the pending frame, then die: the
       // client observes a mid-frame connection kill.
-      OutFrame& f = conn->write_queue.front();
+      const OutFrame& f = *conn->write_queue.front();
       std::size_t keep = hit.arg == 0 ? f.head.size() / 2
                                       : static_cast<std::size_t>(hit.arg);
       keep = std::min(keep, f.head.size());
@@ -360,57 +495,58 @@ void Server::flush_writes(const ConnPtr& conn) {
     close_connection(conn);
     return;
   }
-  while (!conn->write_queue.empty()) {
-    OutFrame& f = conn->write_queue.front();
-    const std::uint8_t* p = nullptr;
-    std::size_t len = 0;
-    if (f.offset < f.head.size()) {
-      p = f.head.data() + f.offset;
-      len = f.head.size() - f.offset;
-    } else {
-      const std::size_t poff = f.offset - f.head.size();
-      p = f.payload.data() + poff;
-      len = f.payload.size() - poff;
+  LoopShard& shard = shard_of(conn);
+  FlushDelta delta;
+  const FlushOutcome outcome = conn->write_queue.flush(conn->fd, &delta);
+  shard.writev_calls.fetch_add(delta.writev_calls,
+                               std::memory_order_relaxed);
+  shard.bytes_out.fetch_add(delta.bytes, std::memory_order_relaxed);
+  shard.payload_chunks.fetch_add(delta.payload_chunks,
+                                 std::memory_order_relaxed);
+  for (std::size_t b = 0; b < kWritevBatchBuckets; ++b) {
+    if (delta.batch_hist[b] != 0) {
+      shard.writev_batch_hist[b].fetch_add(delta.batch_hist[b],
+                                           std::memory_order_relaxed);
     }
-    const ssize_t n = ::send(conn->fd, p, len, MSG_NOSIGNAL);
-    if (n < 0) {
-      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
-      if (errno == EINTR) continue;
-      close_connection(conn);
-      return;
-    }
-    bytes_out_.fetch_add(static_cast<std::uint64_t>(n),
-                         std::memory_order_relaxed);
-    f.offset += static_cast<std::size_t>(n);
-    conn->queued_bytes -= static_cast<std::size_t>(n);
-    if (f.offset == f.size()) conn->write_queue.pop_front();
   }
+  if (outcome == FlushOutcome::kError) {
+    close_connection(conn);
+    return;
+  }
+  // kBudget keeps EPOLLOUT armed (queue nonempty) and returns to the
+  // loop, so a multi-MiB stream shares the loop with its neighbors.
   update_read_interest(conn);
 }
 
 void Server::update_read_interest(const ConnPtr& conn) {
   if (conn->closed) return;
   bool pause = conn->reads_paused;
-  if (!pause && conn->queued_bytes > options_.max_write_queue_bytes) {
+  const std::size_t queued = conn->write_queue.queued_bytes();
+  if (!pause && queued > options_.max_write_queue_bytes) {
     pause = true;
     backpressure_pauses_.fetch_add(1, std::memory_order_relaxed);
-  } else if (pause &&
-             conn->queued_bytes <= options_.max_write_queue_bytes / 2) {
+  } else if (pause && queued <= options_.max_write_queue_bytes / 2) {
     pause = false;
   }
   conn->reads_paused = pause;
-  std::uint32_t events = pause ? 0 : EPOLLIN;
+  std::uint32_t events = EPOLLRDHUP;
+  if (!pause) events |= EPOLLIN;
   if (!conn->write_queue.empty()) events |= EPOLLOUT;
-  (void)loop_.modify(conn->fd, events);
+  (void)loop_of(conn).modify(conn->fd, events);
 }
 
 void Server::close_connection(const ConnPtr& conn) {
   if (conn->closed) return;
   conn->closed = true;
-  loop_.remove(conn->fd);
+  LoopShard& shard = shard_of(conn);
+  shard.loop->remove(conn->fd);
   ::close(conn->fd);
-  connections_.erase(conn->fd);
-  active_.fetch_sub(1, std::memory_order_relaxed);
+  shard.connections.erase(conn->fd);
+  shard.active.fetch_sub(1, std::memory_order_relaxed);
+  if (accept_paused_.load(std::memory_order_acquire)) {
+    // A descriptor just freed up; un-park the acceptor on its loop.
+    loops_[0]->loop->post([this] { resume_accept(); });
+  }
 }
 
 }  // namespace corec::rpc

@@ -1,0 +1,115 @@
+#include "rpc/write_queue.hpp"
+
+#include <sys/socket.h>
+#include <sys/uio.h>
+
+#include <cerrno>
+
+namespace corec::rpc {
+
+namespace {
+
+std::size_t hist_bucket(std::size_t frames) {
+  // 1 → 0, 2 → 1, 3–4 → 2, 5–8 → 3, ... 65+ → 7.
+  std::size_t bucket = 0;
+  std::size_t ceiling = 1;
+  while (bucket + 1 < kWritevBatchBuckets && frames > ceiling) {
+    ++bucket;
+    ceiling *= 2;
+  }
+  return bucket;
+}
+
+}  // namespace
+
+void WriteQueue::push(OutFrame frame) {
+  queued_bytes_ += frame.size() - frame.offset;
+  frames_.push_back(std::move(frame));
+}
+
+FlushOutcome WriteQueue::flush(int fd, FlushDelta* delta) {
+  std::size_t budget_used = 0;
+  while (!frames_.empty()) {
+    if (budget_used >= options_.flush_budget_bytes) return FlushOutcome::kBudget;
+
+    // Build one scatter-gather array across the queued frames: head
+    // remainder, then the payload in segment_bytes slices. The first
+    // frame may resume mid-head or mid-payload from a prior short
+    // write.
+    iovec iov[64];
+    const std::size_t max_iov =
+        options_.max_iov < 64 ? options_.max_iov : 64;
+    std::size_t niov = 0;
+    std::size_t batched_frames = 0;
+    std::size_t batched_bytes = 0;
+    std::uint64_t chunk_iovs = 0;
+    const std::size_t budget_left = options_.flush_budget_bytes - budget_used;
+    for (const OutFrame& f : frames_) {
+      if (niov >= max_iov || batched_bytes >= budget_left) break;
+      bool counted = false;
+      std::size_t pos = f.offset;
+      if (pos < f.head.size()) {
+        iov[niov].iov_base =
+            const_cast<std::uint8_t*>(f.head.data() + pos);
+        iov[niov].iov_len = f.head.size() - pos;
+        batched_bytes += iov[niov].iov_len;
+        ++niov;
+        counted = true;
+        pos = f.head.size();
+      }
+      std::size_t poff = pos - f.head.size();
+      while (poff < f.payload.size() && niov < max_iov &&
+             batched_bytes < budget_left) {
+        const std::size_t len =
+            std::min(options_.segment_bytes, f.payload.size() - poff);
+        iov[niov].iov_base =
+            const_cast<std::uint8_t*>(f.payload.data() + poff);
+        iov[niov].iov_len = len;
+        batched_bytes += len;
+        poff += len;
+        ++niov;
+        ++chunk_iovs;
+        counted = true;
+      }
+      if (counted) ++batched_frames;
+    }
+
+    msghdr msg{};
+    msg.msg_iov = iov;
+    msg.msg_iovlen = niov;
+    const ssize_t n = ::sendmsg(fd, &msg, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return FlushOutcome::kWouldBlock;
+      }
+      if (errno == EINTR) continue;
+      return FlushOutcome::kError;
+    }
+    delta->writev_calls += 1;
+    delta->bytes += static_cast<std::uint64_t>(n);
+    delta->payload_chunks += chunk_iovs;
+    delta->batch_hist[hist_bucket(batched_frames)] += 1;
+    budget_used += static_cast<std::size_t>(n);
+    advance(static_cast<std::size_t>(n), delta);
+    // A short write means the socket buffer filled mid-array; the next
+    // sendmsg would EAGAIN, but loop once more in case space freed.
+  }
+  return FlushOutcome::kDrained;
+}
+
+void WriteQueue::advance(std::size_t n, FlushDelta* delta) {
+  queued_bytes_ -= n;
+  while (n > 0) {
+    OutFrame& f = frames_.front();
+    const std::size_t remaining = f.size() - f.offset;
+    const std::size_t step = std::min(n, remaining);
+    f.offset += step;
+    n -= step;
+    if (f.offset == f.size()) {
+      delta->frames_completed += 1;
+      frames_.pop_front();
+    }
+  }
+}
+
+}  // namespace corec::rpc

@@ -1,0 +1,101 @@
+// Per-connection outbound frame queue with scatter-gather flushing.
+// Responses are queued as OutFrames (a small encoded head plus an
+// optional refcounted payload view); flush() drains the queue by
+// building one iovec array across every queued frame — head remainder
+// first, then the payload sliced into segments of at most
+// `segment_bytes` — and ships it with a single ::sendmsg per wakeup.
+// Partial writes at arbitrary iovec offsets are handled by advancing a
+// byte cursor across the frame sequence, so a short write mid-payload
+// resumes exactly where the kernel stopped.
+//
+// Two caps bound a flush:
+//   * segment_bytes slices a multi-MiB payload into bounded iovec
+//     entries, so the array never carries one giant segment;
+//   * flush_budget_bytes stops the drain loop after that many bytes in
+//     one call, returning kBudget — the caller keeps EPOLLOUT armed and
+//     yields the loop to its other connections instead of streaming a
+//     huge get response to one socket while the rest starve.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <deque>
+
+#include "common/buffer.hpp"
+#include "common/status.hpp"
+
+namespace corec::rpc {
+
+/// One queued response write: a small encoded head (frame header +
+/// body prefix) and an optional payload view written as later
+/// segments — the payload bytes are never appended into `head`.
+struct OutFrame {
+  Bytes head;
+  PayloadBuffer payload;
+  std::size_t offset = 0;  // bytes of head+payload already written
+  std::size_t size() const { return head.size() + payload.size(); }
+};
+
+/// Buckets of the frames-per-writev histogram: 1, 2, 3–4, 5–8, 9–16,
+/// 17–32, 33–64, 65+.
+inline constexpr std::size_t kWritevBatchBuckets = 8;
+
+struct WriteQueueOptions {
+  /// Max iovec entries per sendmsg (bounded well under IOV_MAX).
+  std::size_t max_iov = 64;
+  /// Payload slice cap per iovec entry (chunked large-object streaming).
+  std::size_t segment_bytes = 1u << 20;
+  /// Max bytes written per flush() call before yielding (kBudget).
+  std::size_t flush_budget_bytes = 4u << 20;
+};
+
+/// Counter deltas accumulated by one flush() call; the owner folds
+/// them into its per-loop stats.
+struct FlushDelta {
+  std::uint64_t writev_calls = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t frames_completed = 0;
+  /// Payload iovec slices shipped (≥ 2 per frame means it streamed
+  /// chunked).
+  std::uint64_t payload_chunks = 0;
+  std::array<std::uint64_t, kWritevBatchBuckets> batch_hist{};
+};
+
+enum class FlushOutcome {
+  kDrained,     // queue empty; EPOLLOUT can be disarmed
+  kWouldBlock,  // socket full; wait for EPOLLOUT
+  kBudget,      // budget exhausted with bytes left; keep EPOLLOUT armed
+  kError,       // fatal socket error; close the connection
+};
+
+class WriteQueue {
+ public:
+  explicit WriteQueue(WriteQueueOptions options = {})
+      : options_(options) {}
+
+  void push(OutFrame frame);
+
+  bool empty() const { return frames_.empty(); }
+  std::size_t queued_bytes() const { return queued_bytes_; }
+
+  /// First queued frame (nullptr when empty) — failpoint hooks peek at
+  /// it to craft mid-frame truncations.
+  const OutFrame* front() const {
+    return frames_.empty() ? nullptr : &frames_.front();
+  }
+
+  /// Drains toward `fd` with coalesced sendmsg calls until the queue
+  /// empties, the socket blocks, the budget runs out, or an error.
+  FlushOutcome flush(int fd, FlushDelta* delta);
+
+ private:
+  /// Consumes `n` written bytes across the frame sequence, popping
+  /// completed frames.
+  void advance(std::size_t n, FlushDelta* delta);
+
+  WriteQueueOptions options_;
+  std::deque<OutFrame> frames_;
+  std::size_t queued_bytes_ = 0;
+};
+
+}  // namespace corec::rpc

@@ -635,6 +635,143 @@ TEST(RpcMembership, StaleClientFailpointForcesRedirect) {
   EXPECT_GE(client.stats().stale_redirects, 1u);
 }
 
+TEST(RpcMultiLoop, ParityAcrossLoopCounts) {
+  // The same workload against a single-loop and a four-loop server
+  // must produce byte-identical results — sharding connections across
+  // event loops is invisible to clients.
+  constexpr int kObjects = 48;
+  constexpr std::size_t kPayload = 3000;
+  std::vector<Bytes> blobs;
+  for (int i = 0; i < kObjects; ++i) {
+    blobs.push_back(pattern_bytes(kPayload + i * 13,
+                                  static_cast<std::uint8_t>(i)));
+  }
+
+  for (const std::size_t loops : {std::size_t{1}, std::size_t{4}}) {
+    ServerOptions so;
+    so.num_loops = loops;
+    ServerFixture fx(so);
+    ASSERT_EQ(fx.server.num_loops(), loops);
+
+    ClientOptions copts = fx.client_options();
+    copts.pool_size = 8;  // spread channels across the loops
+    Client client(copts);
+    ASSERT_TRUE(client.connect_pool().ok());
+
+    std::vector<std::thread> writers;
+    std::atomic<int> failures{0};
+    for (int t = 0; t < 4; ++t) {
+      writers.emplace_back([&, t] {
+        for (int i = t; i < kObjects; i += 4) {
+          if (!client
+                   .put(desc_of(31, i), PayloadBuffer::copy_of(blobs[i]))
+                   .ok()) {
+            failures.fetch_add(1);
+          }
+        }
+      });
+    }
+    for (auto& w : writers) w.join();
+    ASSERT_EQ(failures.load(), 0);
+
+    for (int i = 0; i < kObjects; ++i) {
+      auto got = client.get(desc_of(31, i));
+      ASSERT_TRUE(got.ok()) << got.status().to_string();
+      ASSERT_EQ(got->payload.size(), blobs[i].size());
+      EXPECT_EQ(0, std::memcmp(got->payload.span().data(),
+                               blobs[i].data(), blobs[i].size()));
+    }
+
+    const auto stats = fx.server.stats();
+    ASSERT_EQ(stats.per_loop.size(), loops);
+    std::size_t loops_used = 0;
+    for (const auto& shard : stats.per_loop) {
+      if (shard.frames_out > 0) loops_used += 1;
+    }
+    if (loops > 1) {
+      EXPECT_GE(loops_used, 2u)
+          << "least-connections accept left all traffic on one loop";
+    }
+    EXPECT_EQ(stats.frames_out, stats.frames_in);
+  }
+}
+
+TEST(RpcMultiLoop, ChunkedStreamingLargeGetKeepsServing) {
+  // A multi-MiB get against a small segment cap must stream in many
+  // payload chunks and bounded flush rounds, while pings on another
+  // connection keep being served (no head-of-line blocking of the
+  // loop).
+  ServerOptions so;
+  so.num_loops = 1;  // worst case: the big get shares its loop with all
+  so.max_segment_bytes = 64u << 10;
+  ServerFixture fx(so);
+
+  const Bytes big = pattern_bytes(4u << 20, 5);
+  Client client(fx.client_options());
+  ASSERT_TRUE(client.put(desc_of(32, 0),
+                         PayloadBuffer::copy_of(big)).ok());
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> ping_failures{0};
+  std::thread pinger([&] {
+    Client side(fx.client_options());
+    while (!stop.load()) {
+      if (!side.ping().ok()) ping_failures.fetch_add(1);
+    }
+  });
+
+  for (int round = 0; round < 4; ++round) {
+    auto got = client.get(desc_of(32, 0));
+    ASSERT_TRUE(got.ok()) << got.status().to_string();
+    ASSERT_EQ(got->payload.size(), big.size());
+    EXPECT_EQ(0, std::memcmp(got->payload.span().data(), big.data(),
+                             big.size()));
+  }
+  stop.store(true);
+  pinger.join();
+
+  EXPECT_EQ(ping_failures.load(), 0);
+  const auto stats = fx.server.stats();
+  // Each 4 MiB response carves into >= 64 segments of 64 KiB.
+  EXPECT_GE(stats.payload_chunks, 4u * 64u);
+}
+
+TEST(RpcServer, AcceptLimitParksAndResumes) {
+  // Simulated fd exhaustion: the accept_limit failpoint drops one
+  // accepted connection and parks the acceptor (as EMFILE would). A
+  // connection closing must resume accepting and drain the backlog.
+  ServerFixture fx;
+  auto keeper = std::make_unique<Client>([&] {
+    ClientOptions o = fx.client_options();
+    o.max_retries = 0;
+    return o;
+  }());
+  ASSERT_TRUE(keeper->ping().ok());  // open before the limit hits
+
+  {
+    failpoint::ScopedFailpoint fp(
+        "rpc.server.accept_limit",
+        {failpoint::Action::kError, 1.0, /*max_hits=*/1});
+    ClientOptions copts = fx.client_options();
+    copts.max_retries = 0;
+    copts.request_timeout_ms = 500;
+    Client dropped(copts);
+    EXPECT_FALSE(dropped.ping().ok());
+  }
+  EXPECT_GE(fx.server.stats().accept_pauses, 1u);
+
+  // Closing the keeper's connection frees an fd slot; the server must
+  // resume accepting and serve fresh clients again.
+  keeper.reset();
+  ClientOptions copts = fx.client_options();
+  copts.max_retries = 5;
+  copts.retry_backoff_ms = 50;
+  copts.request_timeout_ms = 1000;
+  Client fresh(copts);
+  EXPECT_TRUE(fresh.ping().ok());
+  EXPECT_GE(fx.server.stats().injected_failures, 1u);
+}
+
 TEST(RpcServer, StopWhileClientsActiveIsClean) {
   auto fx = std::make_unique<ServerFixture>();
   ClientOptions options = fx->client_options();

@@ -7,7 +7,25 @@
 # regressions (framing, event loop, dispatch, zero-copy handoff) are
 # visible PR over PR in one machine-readable file.
 #
+# A second phase sweeps the C10k plane: connection counts 64..4096,
+# single-loop vs multi-loop servers, pipelined clients (depth 8 per
+# connection). Each cell restarts the server so its shutdown stats line
+# (writev syscalls-per-frame, frames-per-writev histogram, per-loop
+# frame counts) can be scraped into the record. The sweep fails the
+# script if the multi-loop p99 regresses past FACTOR x the single-loop
+# p99 at >= 1024 connections — sharding the event loop must never make
+# tail latency worse.
+#
 # Usage: bench_rpc_json.sh <micro_rpc-binary> <corec-server-binary> [out.json]
+#
+# Env knobs:
+#   BENCH_RPC_CLIENTS / _SECONDS / _BYTES      three-mix phase shape
+#   BENCH_RPC_C10K_CONNS   sweep connection counts (default "64 256 1024 4096")
+#   BENCH_RPC_C10K_LOOPS   sweep loop counts      (default "1 4")
+#   BENCH_RPC_C10K_PIPELINE  outstanding requests per connection (default 8)
+#   BENCH_RPC_C10K_SECONDS   measured seconds per cell (default 2)
+#   BENCH_RPC_C10K_P99_FACTOR  regression tolerance (default 1.5; 2.0 when
+#                              nproc=1, where extra loops only add scheduling)
 set -eu
 
 MICRO_RPC=${1:?usage: bench_rpc_json.sh micro_rpc corec-server [out.json]}
@@ -18,6 +36,24 @@ CLIENTS=${BENCH_RPC_CLIENTS:-4}
 SECONDS_PER_MIX=${BENCH_RPC_SECONDS:-2}
 VALUE_BYTES=${BENCH_RPC_BYTES:-4096}
 
+C10K_CONNS=${BENCH_RPC_C10K_CONNS:-"64 256 1024 4096"}
+C10K_LOOPS=${BENCH_RPC_C10K_LOOPS:-"1 4"}
+C10K_PIPELINE=${BENCH_RPC_C10K_PIPELINE:-8}
+C10K_SECONDS=${BENCH_RPC_C10K_SECONDS:-2}
+
+NPROC=$(nproc 2>/dev/null || echo 1)
+if [ "$NPROC" -le 1 ]; then
+  P99_FACTOR=${BENCH_RPC_C10K_P99_FACTOR:-2.0}
+  echo "note: single-core host; multi-loop sharding cannot run in" \
+    "parallel, p99 gate tolerance defaults to $P99_FACTOR" >&2
+else
+  P99_FACTOR=${BENCH_RPC_C10K_P99_FACTOR:-1.5}
+fi
+
+# The 4096-connection cells need ~4k fds in the server and ~1k per
+# client child; raise the soft limit if the hard limit allows.
+ulimit -n 16384 2>/dev/null || true
+
 TMPDIR_JSON=$(mktemp -d)
 SERVER_PID=
 cleanup() {
@@ -27,27 +63,45 @@ cleanup() {
 }
 trap cleanup EXIT
 
-"$SERVER" --port 0 --servers 4 --workers 2 --pool-dispatch \
-  > "$TMPDIR_JSON/server.log" 2>&1 &
-SERVER_PID=$!
+# start_server <logfile> [extra corec-server args...]
+# Sets SERVER_PID and PORT.
+start_server() {
+  log=$1
+  shift
+  "$SERVER" --port 0 --servers 4 "$@" > "$log" 2>&1 &
+  SERVER_PID=$!
+  # The server prints "corec-server listening on 127.0.0.1:PORT (...)"
+  # once the socket is bound; poll for it rather than racing the bind.
+  PORT=
+  i=0
+  while [ $i -lt 100 ]; do
+    PORT=$(sed -n 's/.*listening on [0-9.]*:\([0-9]*\).*/\1/p' \
+      "$log" | head -n 1)
+    [ -n "$PORT" ] && break
+    kill -0 "$SERVER_PID" 2>/dev/null || {
+      echo "corec-server exited before binding:" >&2
+      cat "$log" >&2
+      exit 1
+    }
+    sleep 0.1
+    i=$((i + 1))
+  done
+  [ -n "$PORT" ] || { echo "failed to scrape server port" >&2; exit 1; }
+}
 
-# The server prints "corec-server listening on 127.0.0.1:PORT (...)"
-# once the socket is bound; poll for it rather than racing the bind.
-PORT=
-i=0
-while [ $i -lt 100 ]; do
-  PORT=$(sed -n 's/.*listening on [0-9.]*:\([0-9]*\).*/\1/p' \
-    "$TMPDIR_JSON/server.log" | head -n 1)
-  [ -n "$PORT" ] && break
-  kill -0 "$SERVER_PID" 2>/dev/null || {
-    echo "corec-server exited before binding:" >&2
-    cat "$TMPDIR_JSON/server.log" >&2
-    exit 1
-  }
-  sleep 0.1
-  i=$((i + 1))
-done
-[ -n "$PORT" ] || { echo "failed to scrape server port" >&2; exit 1; }
+# stop_server <logfile>: SIGINT, wait, and scrape the shutdown stats
+# JSON into SERVER_STATS.
+stop_server() {
+  kill -INT "$SERVER_PID" 2>/dev/null || true
+  wait "$SERVER_PID" 2>/dev/null || true
+  SERVER_PID=
+  SERVER_STATS=$(sed -n 's/^corec-server stats //p' "$1" | head -n 1)
+  [ -n "$SERVER_STATS" ] || SERVER_STATS='{}'
+}
+
+# ---- phase 1: op-mix baseline (pool dispatch, default loops) -------------
+
+start_server "$TMPDIR_JSON/server.log" --workers 2 --pool-dispatch
 echo "corec-server up on port $PORT (pid $SERVER_PID)"
 
 for MIX in put get mixed; do
@@ -56,14 +110,78 @@ for MIX in put get mixed; do
     --seconds "$SECONDS_PER_MIX" --bytes "$VALUE_BYTES" --mix "$MIX" \
     > "$TMPDIR_JSON/$MIX.json"
 done
+stop_server "$TMPDIR_JSON/server.log"
+
+# ---- phase 2: C10k sweep (sync dispatch, pipelined clients) --------------
+
+CELLS=
+for LOOPS in $C10K_LOOPS; do
+  for CONNS in $C10K_CONNS; do
+    LOG="$TMPDIR_JSON/c10k_${LOOPS}_${CONNS}.log"
+    start_server "$LOG" --loops "$LOOPS"
+    echo "c10k: loops=$LOOPS connections=$CONNS pipeline=$C10K_PIPELINE ..."
+    "$MICRO_RPC" --port "$PORT" --clients "$CLIENTS" \
+      --seconds "$C10K_SECONDS" --bytes "$VALUE_BYTES" --mix mixed \
+      --connections "$CONNS" --pipeline "$C10K_PIPELINE" \
+      > "$TMPDIR_JSON/c10k_${LOOPS}_${CONNS}.json"
+    stop_server "$LOG"
+    CELL=$(printf '{"loops":%s,"connections":%s,"load":%s,"server":%s}' \
+      "$LOOPS" "$CONNS" \
+      "$(cat "$TMPDIR_JSON/c10k_${LOOPS}_${CONNS}.json")" "$SERVER_STATS")
+    CELLS="${CELLS:+$CELLS,
+}$CELL"
+    # Keep the per-cell p99 around for the regression gate.
+    sed -n 's/.*"p99_us":\([0-9.]*\).*/\1/p' \
+      "$TMPDIR_JSON/c10k_${LOOPS}_${CONNS}.json" \
+      > "$TMPDIR_JSON/p99_${LOOPS}_${CONNS}"
+  done
+done
+
+# ---- p99 regression gate -------------------------------------------------
+# At every swept connection count >= 1024, the multi-loop p99 must stay
+# within FACTOR x the single-loop p99.
+
+SINGLE_LOOP=$(echo "$C10K_LOOPS" | awk '{print $1}')
+GATE_CHECKS=
+GATE_FAIL=0
+for LOOPS in $C10K_LOOPS; do
+  [ "$LOOPS" = "$SINGLE_LOOP" ] && continue
+  for CONNS in $C10K_CONNS; do
+    [ "$CONNS" -ge 1024 ] || continue
+    BASE=$(cat "$TMPDIR_JSON/p99_${SINGLE_LOOP}_${CONNS}")
+    MULTI=$(cat "$TMPDIR_JSON/p99_${LOOPS}_${CONNS}")
+    OK=$(awk -v m="$MULTI" -v b="$BASE" -v f="$P99_FACTOR" \
+      'BEGIN { print (m <= b * f) ? "true" : "false" }')
+    [ "$OK" = "true" ] || GATE_FAIL=1
+    CHECK=$(printf \
+      '{"connections":%s,"loops":%s,"p99_single_us":%s,"p99_multi_us":%s,"ok":%s}' \
+      "$CONNS" "$LOOPS" "$BASE" "$MULTI" "$OK")
+    GATE_CHECKS="${GATE_CHECKS:+$GATE_CHECKS,}$CHECK"
+    echo "p99 gate: conns=$CONNS loops=$LOOPS ${MULTI}us vs" \
+      "loops=$SINGLE_LOOP ${BASE}us (factor $P99_FACTOR) -> ok=$OK"
+  done
+done
 
 {
   printf '{\n"bench": "rpc_loopback",\n'
   printf '"transport": "tcp length-prefixed frames, 4 server shards, pool dispatch",\n'
   printf '"put": %s,\n' "$(cat "$TMPDIR_JSON/put.json")"
   printf '"get": %s,\n' "$(cat "$TMPDIR_JSON/get.json")"
-  printf '"mixed": %s\n' "$(cat "$TMPDIR_JSON/mixed.json")"
-  printf '}\n'
+  printf '"mixed": %s,\n' "$(cat "$TMPDIR_JSON/mixed.json")"
+  printf '"c10k": {\n'
+  printf '"pipeline": %s,\n' "$C10K_PIPELINE"
+  printf '"clients": %s,\n' "$CLIENTS"
+  printf '"nproc": %s,\n' "$NPROC"
+  printf '"cells": [\n%s\n],\n' "$CELLS"
+  printf '"p99_gate": {"factor": %s, "checks": [%s], "pass": %s}\n' \
+    "$P99_FACTOR" "$GATE_CHECKS" \
+    "$([ "$GATE_FAIL" -eq 0 ] && echo true || echo false)"
+  printf '}\n}\n'
 } > "$OUT"
 
 echo "wrote $OUT"
+if [ "$GATE_FAIL" -ne 0 ]; then
+  echo "FAIL: multi-loop p99 regressed past ${P99_FACTOR}x single-loop" \
+    "at >= 1024 connections" >&2
+  exit 1
+fi

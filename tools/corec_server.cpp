@@ -36,7 +36,11 @@ void usage() {
       "  --workers N         fabric worker threads (0 = auto)\n"
       "  --capacity BYTES    per-server capacity (0 = unlimited)\n"
       "  --pool-dispatch     run ops on the worker pool instead of the\n"
-      "                      event-loop thread\n"
+      "                      event-loop threads\n"
+      "  --loops N           epoll event-loop shards\n"
+      "                      (0 = min(hardware_concurrency, 4))\n"
+      "  --segment BYTES     payload slice cap per write segment\n"
+      "                      (default 1 MiB)\n"
       "  --max-frame BYTES   frame body ceiling (default 64 MiB)\n"
       "  --failpoints SPEC   arm fault-injection points\n");
 }
@@ -79,6 +83,11 @@ int main(int argc, char** argv) {
           static_cast<std::size_t>(std::atoll(next()));
     } else if (a == "--pool-dispatch") {
       options.pool_dispatch = true;
+    } else if (a == "--loops") {
+      options.num_loops = static_cast<std::size_t>(std::atol(next()));
+    } else if (a == "--segment") {
+      options.max_segment_bytes =
+          static_cast<std::size_t>(std::atoll(next()));
     } else if (a == "--max-frame") {
       options.max_frame_bytes = static_cast<std::size_t>(std::atoll(next()));
     } else if (a == "--failpoints") {
@@ -107,9 +116,11 @@ int main(int argc, char** argv) {
   }
   // The scrape-able readiness line (bench_rpc_json.sh and the CI smoke
   // job read the resolved port from it).
-  std::printf("corec-server listening on %s:%u (%zu servers, %s dispatch)\n",
-              server.host().c_str(), server.port(), options.num_servers,
-              options.pool_dispatch ? "pool" : "sync");
+  std::printf(
+      "corec-server listening on %s:%u (%zu servers, %zu loops, %s "
+      "dispatch)\n",
+      server.host().c_str(), server.port(), options.num_servers,
+      server.num_loops(), options.pool_dispatch ? "pool" : "sync");
   std::fflush(stdout);
 
   std::signal(SIGINT, on_signal);
@@ -133,7 +144,7 @@ int main(int argc, char** argv) {
   std::printf(
       "corec-server: %llu puts (%llu failed), %llu gets (%llu misses), "
       "%llu erases; %llu protocol errors, %llu backpressure pauses, "
-      "%llu injected failures\n",
+      "%llu accept pauses, %llu injected failures\n",
       static_cast<unsigned long long>(fab.puts),
       static_cast<unsigned long long>(fab.put_failures),
       static_cast<unsigned long long>(fab.gets),
@@ -141,6 +152,35 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(fab.erases),
       static_cast<unsigned long long>(rpc.protocol_errors),
       static_cast<unsigned long long>(rpc.backpressure_pauses),
+      static_cast<unsigned long long>(rpc.accept_pauses),
       static_cast<unsigned long long>(rpc.injected_failures));
+  // Machine-readable transport record (bench_rpc_json.sh scrapes it):
+  // per-loop syscall efficiency, the writev frames-per-call histogram,
+  // and the headline syscalls-per-frame ratio.
+  std::printf("corec-server stats {\"loops\":%zu,\"accepted\":%llu,"
+              "\"frames_out\":%llu,\"recv_calls\":%llu,"
+              "\"writev_calls\":%llu,\"payload_chunks\":%llu,"
+              "\"writev_per_frame\":%.4f,\"batch_hist\":[",
+              server.num_loops(),
+              static_cast<unsigned long long>(rpc.accepted),
+              static_cast<unsigned long long>(rpc.frames_out),
+              static_cast<unsigned long long>(rpc.recv_calls),
+              static_cast<unsigned long long>(rpc.writev_calls),
+              static_cast<unsigned long long>(rpc.payload_chunks),
+              rpc.frames_out == 0
+                  ? 0.0
+                  : static_cast<double>(rpc.writev_calls) /
+                        static_cast<double>(rpc.frames_out));
+  for (std::size_t b = 0; b < corec::rpc::kWritevBatchBuckets; ++b) {
+    std::printf("%s%llu", b == 0 ? "" : ",",
+                static_cast<unsigned long long>(rpc.writev_batch_hist[b]));
+  }
+  std::printf("],\"per_loop_frames_out\":[");
+  for (std::size_t i = 0; i < rpc.per_loop.size(); ++i) {
+    std::printf("%s%llu", i == 0 ? "" : ",",
+                static_cast<unsigned long long>(
+                    rpc.per_loop[i].frames_out));
+  }
+  std::printf("]}\n");
   return 0;
 }

@@ -85,6 +85,7 @@ struct CliOptions {
   // (-1 = off; 0 = kernel-assigned port), --connect drives a smoke
   // workload against HOST:PORT as an RPC client.
   int serve_port = -1;
+  std::size_t serve_loops = 0;  // 0 = min(hardware_concurrency, 4)
   std::string connect_addr;
 };
 
@@ -138,6 +139,8 @@ void usage() {
       "  --serve PORT        skip the simulator; serve the ThreadFabric\n"
       "                      over TCP RPC on PORT (0 = kernel-assigned)\n"
       "                      until SIGINT/SIGTERM\n"
+      "  --loops N           with --serve: epoll event-loop shards\n"
+      "                      (0 = min(hardware_concurrency, 4))\n"
       "  --connect H:P       skip the simulator; run a byte-verified\n"
       "                      put/get/query/erase smoke workload against\n"
       "                      a corec-server at HOST:PORT\n"
@@ -209,6 +212,8 @@ bool parse_args(int argc, char** argv, CliOptions* cli) {
       cli->threads = static_cast<std::size_t>(std::atol(next()));
     } else if (a == "--serve") {
       cli->serve_port = std::atoi(next());
+    } else if (a == "--loops") {
+      cli->serve_loops = static_cast<std::size_t>(std::atol(next()));
     } else if (a == "--connect") {
       cli->connect_addr = next();
     } else if (a == "--seed") {
@@ -552,14 +557,16 @@ int run_serve(const CliOptions& cli) {
   rpc::ServerOptions options;
   options.port = static_cast<std::uint16_t>(cli.serve_port);
   options.num_servers = cli.servers;
+  options.num_loops = cli.serve_loops;
   rpc::Server server(options);
   Status st = server.start();
   if (!st.ok()) {
     std::fprintf(stderr, "--serve: %s\n", st.to_string().c_str());
     return 1;
   }
-  std::printf("corec-sim serving on %s:%u (%zu servers)\n",
-              server.host().c_str(), server.port(), cli.servers);
+  std::printf("corec-sim serving on %s:%u (%zu servers, %zu loops)\n",
+              server.host().c_str(), server.port(), cli.servers,
+              server.num_loops());
   std::fflush(stdout);
   std::signal(SIGINT, [](int) { g_serve_stop = 1; });
   std::signal(SIGTERM, [](int) { g_serve_stop = 1; });

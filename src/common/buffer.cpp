@@ -14,6 +14,18 @@ PayloadMetrics& payload_metrics() {
 std::shared_ptr<PayloadBuffer::Rep> PayloadBuffer::make_rep(Bytes bytes) {
   auto rep = std::make_shared<Rep>();
   rep->bytes = std::move(bytes);
+  rep->base = rep->bytes.data();
+  rep->len = rep->bytes.size();
+  payload_metrics().allocations.fetch_add(1, std::memory_order_relaxed);
+  return rep;
+}
+
+std::shared_ptr<PayloadBuffer::Rep> PayloadBuffer::make_rep(
+    slab::Block block) {
+  auto rep = std::make_shared<Rep>();
+  rep->block = std::move(block);
+  rep->base = rep->block.data();
+  rep->len = rep->block.size();
   payload_metrics().allocations.fetch_add(1, std::memory_order_relaxed);
   return rep;
 }
@@ -26,15 +38,32 @@ PayloadBuffer PayloadBuffer::wrap(Bytes bytes) {
   return buf;
 }
 
+PayloadBuffer PayloadBuffer::adopt(slab::Block block) {
+  PayloadBuffer buf;
+  if (block.empty()) return buf;
+  buf.size_ = block.size();
+  buf.rep_ = make_rep(std::move(block));
+  return buf;
+}
+
+PayloadBuffer PayloadBuffer::from_pool(std::size_t size) {
+  return adopt(slab::allocate(size));
+}
+
 PayloadBuffer PayloadBuffer::copy_of(ByteSpan data) {
-  PayloadBuffer buf = wrap(Bytes(data.begin(), data.end()));
-  payload_metrics().bytes_copied.fetch_add(data.size(),
-                                           std::memory_order_relaxed);
+  PayloadBuffer buf = from_pool(data.size());
+  if (!data.empty()) {
+    std::memcpy(buf.rep_->base, data.data(), data.size());
+    payload_metrics().bytes_copied.fetch_add(data.size(),
+                                             std::memory_order_relaxed);
+  }
   return buf;
 }
 
 PayloadBuffer PayloadBuffer::zeros(std::size_t size) {
-  return wrap(Bytes(size, 0));
+  PayloadBuffer buf = from_pool(size);
+  if (size > 0) std::memset(buf.rep_->base, 0, size);
+  return buf;
 }
 
 PayloadBuffer PayloadBuffer::slice(std::size_t offset,
@@ -59,19 +88,30 @@ MutableByteSpan PayloadBuffer::mutable_span() {
   if (rep_ == nullptr || size_ == 0) return {};
   auto& metrics = payload_metrics();
   const bool shared = rep_.use_count() > 1;
-  const bool partial = offset_ != 0 || size_ != rep_->bytes.size();
+  const bool partial = offset_ != 0 || size_ != rep_->len;
   if (shared || partial) {
-    Bytes priv(rep_->bytes.begin() + static_cast<std::ptrdiff_t>(offset_),
-               rep_->bytes.begin() +
-                   static_cast<std::ptrdiff_t>(offset_ + size_));
+    auto priv = make_rep(slab::allocate(size_));
+    std::memcpy(priv->base, rep_->base + offset_, size_);
     metrics.bytes_copied.fetch_add(size_, std::memory_order_relaxed);
     metrics.cow_detaches.fetch_add(1, std::memory_order_relaxed);
-    rep_ = make_rep(std::move(priv));
+    rep_ = std::move(priv);
     offset_ = 0;
   }
   rep_->generation.fetch_add(1, std::memory_order_relaxed);
   crc_valid_ = false;
-  return {rep_->bytes.data(), size_};
+  return {rep_->base, size_};
+}
+
+PayloadBuffer PayloadBuffer::compacted(std::size_t max_waste_bytes) const {
+  if (rep_ == nullptr || rep_->len - size_ <= max_waste_bytes) return *this;
+  PayloadBuffer compact = copy_of(span());
+  // Compacting preserves content, so an already-computed tag carries over.
+  if (crc_valid_) {
+    compact.crc_ = crc_;
+    compact.crc_gen_ = compact.generation();
+    compact.crc_valid_ = true;
+  }
+  return compact;
 }
 
 std::uint32_t PayloadBuffer::crc32c() const {
@@ -92,9 +132,8 @@ std::uint32_t PayloadBuffer::crc32c() const {
 Bytes PayloadBuffer::to_bytes() const {
   if (rep_ == nullptr || size_ == 0) return {};
   payload_metrics().bytes_copied.fetch_add(size_, std::memory_order_relaxed);
-  return Bytes(rep_->bytes.begin() + static_cast<std::ptrdiff_t>(offset_),
-               rep_->bytes.begin() +
-                   static_cast<std::ptrdiff_t>(offset_ + size_));
+  const std::uint8_t* p = rep_->base + offset_;
+  return Bytes(p, p + size_);
 }
 
 }  // namespace corec

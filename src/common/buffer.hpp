@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "common/slab.hpp"
 #include "common/status.hpp"
 
 namespace corec {
@@ -34,12 +35,23 @@ struct PayloadMetrics {
   std::atomic<std::uint64_t> crc_computed{0};   // full CRC32C passes
   std::atomic<std::uint64_t> crc_cache_hits{0}; // recomputes avoided
 
+  // Slab-pool traffic (maintained by corec::slab). outstanding_bytes is
+  // a gauge (live block capacity), so reset() leaves it alone —
+  // zeroing it while blocks are live would corrupt the accounting.
+  std::atomic<std::uint64_t> pool_hits{0};      // served from a free list
+  std::atomic<std::uint64_t> pool_misses{0};    // fresh heap carve
+  std::atomic<std::uint64_t> pool_oversize{0};  // above largest class
+  std::atomic<std::int64_t> pool_outstanding_bytes{0};
+
   void reset() {
     allocations.store(0, std::memory_order_relaxed);
     bytes_copied.store(0, std::memory_order_relaxed);
     cow_detaches.store(0, std::memory_order_relaxed);
     crc_computed.store(0, std::memory_order_relaxed);
     crc_cache_hits.store(0, std::memory_order_relaxed);
+    pool_hits.store(0, std::memory_order_relaxed);
+    pool_misses.store(0, std::memory_order_relaxed);
+    pool_oversize.store(0, std::memory_order_relaxed);
   }
 };
 
@@ -77,16 +89,24 @@ class PayloadBuffer {
   /// zero copies).
   static PayloadBuffer wrap(Bytes bytes);
 
-  /// Copies `data` into a fresh backing store.
+  /// Takes ownership of a slab block as a new backing store; the view
+  /// covers the block's requested size. Zero copies; the block returns
+  /// to the pool when the last view drops.
+  static PayloadBuffer adopt(slab::Block block);
+
+  /// A fresh pool-backed store of `size` uninitialized bytes.
+  static PayloadBuffer from_pool(std::size_t size);
+
+  /// Copies `data` into a fresh pool-backed store.
   static PayloadBuffer copy_of(ByteSpan data);
 
-  /// A fresh zero-filled backing store of `size` bytes.
+  /// A fresh zero-filled pool-backed store of `size` bytes.
   static PayloadBuffer zeros(std::size_t size);
 
   std::size_t size() const { return size_; }
   bool empty() const { return size_ == 0; }
   const std::uint8_t* data() const {
-    return rep_ == nullptr ? nullptr : rep_->bytes.data() + offset_;
+    return rep_ == nullptr ? nullptr : rep_->base + offset_;
   }
   std::uint8_t operator[](std::size_t i) const { return data()[i]; }
   ByteSpan span() const { return {data(), size_}; }
@@ -107,6 +127,16 @@ class PayloadBuffer {
 
   /// Number of views over this backing store (0 for the empty buffer).
   long use_count() const { return rep_ == nullptr ? 0 : rep_.use_count(); }
+
+  /// Bytes of backing store this view keeps alive (>= size() for a
+  /// slice). The serving path uses this to decide when a small view is
+  /// parking a large read buffer and should be compacted instead.
+  std::size_t store_size() const { return rep_ == nullptr ? 0 : rep_->len; }
+
+  /// Returns *this when the view wastes at most `max_waste_bytes` of
+  /// backing store, otherwise a compact pool-backed copy — releasing
+  /// the large store once all other views drop.
+  PayloadBuffer compacted(std::size_t max_waste_bytes) const;
 
   /// Mutation epoch of the backing store; bumps on every mutable_span().
   std::uint64_t generation() const {
@@ -138,12 +168,20 @@ class PayloadBuffer {
   }
 
  private:
+  // Backing store: either an owned Bytes vector (wrap()) or a slab
+  // block (from_pool()/adopt()). base/len describe the store
+  // uniformly; neither backing ever reallocates, so raw pointers into
+  // the store stay valid for the Rep's lifetime.
   struct Rep {
     Bytes bytes;
+    slab::Block block;
+    std::uint8_t* base = nullptr;
+    std::size_t len = 0;
     std::atomic<std::uint64_t> generation{0};
   };
 
   static std::shared_ptr<Rep> make_rep(Bytes bytes);
+  static std::shared_ptr<Rep> make_rep(slab::Block block);
 
   std::shared_ptr<Rep> rep_;
   std::size_t offset_ = 0;

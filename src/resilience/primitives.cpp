@@ -123,13 +123,15 @@ StripePayload make_stripe_payload(const erasure::Codec& codec,
     if (have >= chunk) {
       view = obj.data.slice(begin, chunk);
     } else {
-      Bytes padded(chunk, 0);
+      // Pool-backed scratch: the padded tail recycles through the slab
+      // magazines instead of a fresh heap carve per demotion.
+      view = PayloadBuffer::zeros(chunk);
       if (have > 0) {
-        std::memcpy(padded.data(), obj.data.data() + begin, have);
+        std::memcpy(view.mutable_span().data(), obj.data.data() + begin,
+                    have);
         payload_metrics().bytes_copied.fetch_add(
             have, std::memory_order_relaxed);
       }
-      view = PayloadBuffer::wrap(std::move(padded));
     }
     data_spans[i] = view.span();
     stripe.shards.push_back(DataObject::real(
@@ -137,8 +139,8 @@ StripePayload make_stripe_payload(const erasure::Codec& codec,
         std::move(view)));
   }
 
-  // Parity: one allocation for all m chunks, written in place by the
-  // fused view kernels, then sliced into per-shard views.
+  // Parity: one pooled allocation for all m chunks, written in place
+  // by the fused view kernels, then sliced into per-shard views.
   PayloadBuffer parity = PayloadBuffer::zeros(chunk * m);
   if (chunk > 0 && m > 0) {
     MutableByteSpan parity_all = parity.mutable_span();

@@ -1,5 +1,6 @@
 #include "rpc/client.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <thread>
 #include <utility>
@@ -25,8 +26,21 @@ Client::Client(ClientOptions options) : options_(std::move(options)) {
   const std::size_t n = std::max<std::size_t>(1, options_.pool_size);
   channels_.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
-    channels_.push_back(std::make_unique<Channel>());
+    channels_.push_back(std::make_unique<Channel>(assembler_options()));
   }
+}
+
+FrameAssemblerOptions Client::assembler_options() const {
+  FrameAssemblerOptions fa;
+  fa.max_body = options_.max_frame_bytes;
+  fa.read_chunk_bytes = options_.read_chunk_bytes;
+  fa.inline_body_cutover = options_.inline_body_cutover;
+  return fa;
+}
+
+void Client::reset_channel(Channel& ch) {
+  ch.fd.reset();
+  ch.assembler = FrameAssembler(assembler_options());
 }
 
 Client::~Client() {
@@ -99,21 +113,27 @@ Status Client::call_once(Channel& ch, OpCode op, std::uint64_t request_id,
   if (auto hit = COREC_FAILPOINT("rpc.client.recv")) {
     return Status::Unavailable("injected recv failure");
   }
-  std::uint8_t header_bytes[kFrameHeaderBytes];
-  COREC_RETURN_IF_ERROR(
-      recv_exact(ch.fd.get(), {header_bytes, kFrameHeaderBytes}, deadline));
-  COREC_ASSIGN_OR_RETURN(
-      response->header,
-      decode_frame_header({header_bytes, kFrameHeaderBytes},
-                          options_.max_frame_bytes));
+  // Buffered frame receive: the channel's assembler reads large chunks
+  // into its pooled buffer and slices the response out, under one
+  // absolute deadline for the whole frame. A malformed header poisons
+  // the assembler; the caller resets the channel on any failure here.
+  const auto recv_deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::milliseconds(deadline);
+  while (!ch.assembler.frame_ready()) {
+    MutableByteSpan span = ch.assembler.next_span();
+    if (span.empty()) {
+      return Status::Unavailable("receive stream desynchronized");
+    }
+    COREC_ASSIGN_OR_RETURN(
+        const std::size_t n,
+        recv_some(ch.fd.get(), span, recv_deadline));
+    COREC_RETURN_IF_ERROR(ch.assembler.advance(n));
+  }
+  *response = ch.assembler.take_frame();
   if (response->header.request_id != request_id) {
     return Status::Unavailable("response id mismatch (channel desync)");
   }
-  Bytes body(response->header.body_len);
-  if (!body.empty()) {
-    COREC_RETURN_IF_ERROR(recv_exact(ch.fd.get(), body, deadline));
-  }
-  response->body = PayloadBuffer::wrap(std::move(body));
   return Status::Ok();
 }
 
@@ -171,9 +191,10 @@ StatusOr<Frame> Client::call(OpCode op, const Bytes& prefix,
       continue;
     }
     // Transport fault: this channel's stream state is unknown — drop
-    // the socket so the next attempt reconnects cleanly.
+    // the socket and receive state so the next attempt reconnects
+    // cleanly.
     transport_errors_.fetch_add(1, std::memory_order_relaxed);
-    ch.fd.reset();
+    reset_channel(ch);
     if (!retryable(last)) break;
   }
   return last;
@@ -201,7 +222,13 @@ StatusOr<GetResult> Client::get(const ObjectDescriptor& desc) {
   COREC_ASSIGN_OR_RETURN(GetResponse resp,
                          decode_get_response(frame.body));
   GetResult result;
+  // A result sliced from the channel's pooled read buffer parks that
+  // buffer for as long as the caller holds it; compact only when the
+  // view is a small fraction of its store — substantial payloads stay
+  // zero-copy.
   result.payload = std::move(resp.payload);
+  result.payload = result.payload.compacted(
+      std::max<std::size_t>(4096, result.payload.size() * 8));
   result.kind = resp.kind;
   result.checksum = resp.checksum;
   return result;

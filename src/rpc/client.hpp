@@ -41,6 +41,11 @@ struct ClientOptions {
   /// First backoff; doubles per retry.
   int retry_backoff_ms = 5;
   std::size_t max_frame_bytes = kDefaultMaxFrameBytes;
+  /// Per-channel pooled read-buffer size for buffered frame receive;
+  /// 0 selects the legacy unbuffered assembler (parity baseline).
+  std::size_t read_chunk_bytes = kDefaultReadChunkBytes;
+  /// Largest response body assembled in place inside the read buffer.
+  std::size_t inline_body_cutover = kDefaultInlineBodyCutover;
   /// Workers backing the async_* API (lazily started).
   std::size_t async_threads = 2;
 };
@@ -54,8 +59,10 @@ struct ClientStatsSnapshot {
   std::uint64_t stale_redirects = 0;  // kNotMyShard map refreshes
 };
 
-/// Result of a get: the payload is the frame body's backing store
-/// (one allocation, filled by the socket read — no user-space copy).
+/// Result of a get: the payload is a refcounted view of the bytes the
+/// socket read — no user-space copy for payloads of consequence. A
+/// tiny result sliced from the channel's large read buffer is
+/// compacted (one small copy) so holding it cannot park the buffer.
 struct GetResult {
   PayloadBuffer payload;
   staging::StoredKind kind = staging::StoredKind::kPrimary;
@@ -126,8 +133,14 @@ class Client {
 
  private:
   struct Channel {
+    explicit Channel(const FrameAssemblerOptions& fa) : assembler(fa) {}
     std::mutex mu;  // one outstanding request per channel
     OwnedFd fd;
+    // Persistent per-channel receive state: responses assemble out of
+    // a pooled read buffer (buffered multi-frame protocol). Reset
+    // together with fd on any transport fault — a partially consumed
+    // stream cannot be resynchronized.
+    FrameAssembler assembler;
   };
 
   /// Full request/response exchange with retry envelope. `prefix` is
@@ -139,6 +152,10 @@ class Client {
                    const Bytes& prefix, const PayloadBuffer& payload,
                    Frame* response);
   Status ensure_connected(Channel& ch);
+  FrameAssemblerOptions assembler_options() const;
+  /// Drops the socket and receive state together after a transport
+  /// fault; the next attempt reconnects with a clean stream.
+  void reset_channel(Channel& ch);
   ThreadPool* async_pool();
   /// Monotonic-max adoption of a map version observed on the wire.
   void adopt_map_version(std::uint64_t version);

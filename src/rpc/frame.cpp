@@ -44,18 +44,158 @@ StatusOr<FrameHeader> decode_frame_header(ByteSpan bytes,
   return h;
 }
 
-MutableByteSpan FrameAssembler::next_span() {
-  if (ready_ || poisoned_) return {};
-  if (!in_body_) {
-    return {header_bytes_ + have_, kFrameHeaderBytes - have_};
+FrameAssembler::FrameAssembler(FrameAssemblerOptions opts)
+    : opts_(opts), chunk_(opts.read_chunk_bytes) {
+  if (chunk_ > 0) {
+    cutover_ = opts_.inline_body_cutover;
+    if (cutover_ > opts_.max_body) cutover_ = opts_.max_body;
+    // Rotation carries over at most a partial header plus a partial
+    // inline body (< kFrameHeaderBytes + cutover_). Keep the chunk
+    // comfortably bigger so every rotation frees real tail space and
+    // tests may pick tiny chunks without wedging.
+    const std::size_t floor = 2 * kFrameHeaderBytes + cutover_ + 64;
+    if (chunk_ < floor) chunk_ = floor;
   }
-  return {body_.data() + have_, body_.size() - have_};
+}
+
+FrameAssembler::FrameAssembler(std::size_t max_body)
+    : FrameAssembler([max_body] {
+        FrameAssemblerOptions o;
+        o.max_body = max_body;
+        return o;
+      }()) {}
+
+void FrameAssembler::ensure_buffer() {
+  if (base_ == nullptr) {
+    buf_ = PayloadBuffer::adopt(slab::allocate(chunk_));
+    base_ = const_cast<std::uint8_t*>(buf_.data());
+    filled_ = 0;
+    parsed_ = 0;
+    return;
+  }
+  if (parsed_ == filled_ && buf_.use_count() == 1) {
+    // Fully parsed and no body slice parks the store: recycle in place.
+    filled_ = 0;
+    parsed_ = 0;
+    return;
+  }
+  if (filled_ == chunk_) {
+    // Buffer exhausted (or parked by outstanding slices): rotate to a
+    // fresh pooled buffer, carrying the unparsed remnant. The old
+    // store returns to the pool when its last body slice drops.
+    const std::size_t leftover = filled_ - parsed_;
+    PayloadBuffer next = PayloadBuffer::adopt(slab::allocate(chunk_));
+    auto* next_base = const_cast<std::uint8_t*>(next.data());
+    if (leftover > 0) {
+      std::memcpy(next_base, base_ + parsed_, leftover);
+      payload_metrics().bytes_copied.fetch_add(leftover,
+                                               std::memory_order_relaxed);
+    }
+    buf_ = std::move(next);
+    base_ = next_base;
+    filled_ = leftover;
+    parsed_ = 0;
+  }
+}
+
+MutableByteSpan FrameAssembler::next_span() {
+  if (poisoned_) return {};
+  if (chunk_ == 0) {
+    if (ready_) return {};
+    if (!in_body_) {
+      return {header_bytes_ + have_, kFrameHeaderBytes - have_};
+    }
+    return {body_.data() + have_, body_.size() - have_};
+  }
+  if (in_direct_) {
+    return {direct_block_.data() + direct_have_,
+            direct_header_.body_len - direct_have_};
+  }
+  ensure_buffer();
+  return {base_ + filled_, chunk_ - filled_};
+}
+
+Status FrameAssembler::parse() {
+  while (true) {
+    const std::size_t avail = filled_ - parsed_;
+    if (avail < kFrameHeaderBytes) return Status::Ok();
+    auto header =
+        decode_frame_header({base_ + parsed_, kFrameHeaderBytes},
+                            opts_.max_body);
+    if (!header.ok()) {
+      // A byte stream with a corrupt header cannot be resynchronized;
+      // refuse all further input so the caller drops the connection.
+      poisoned_ = true;
+      return header.status();
+    }
+    const std::size_t body_len = header->body_len;
+    const std::size_t body_avail = avail - kFrameHeaderBytes;
+    if (body_avail >= body_len) {
+      // Complete frame in the buffer: the body is a zero-copy slice
+      // sharing the read buffer's store (empty for body_len == 0).
+      Frame f;
+      f.header = *header;
+      if (body_len > 0) {
+        f.body = buf_.slice(parsed_ + kFrameHeaderBytes, body_len);
+      }
+      ready_frames_.push_back(std::move(f));
+      parsed_ += kFrameHeaderBytes + body_len;
+      continue;
+    }
+    if (body_len <= cutover_) {
+      // Small body still mid-flight: wait for more buffered bytes
+      // (rotation carries this remnant if the buffer fills first).
+      return Status::Ok();
+    }
+    // Large body mid-flight: assemble it directly in its own pooled
+    // allocation so it neither pins the read buffer nor overflows it.
+    direct_block_ = slab::allocate(body_len);
+    std::memcpy(direct_block_.data(), base_ + parsed_ + kFrameHeaderBytes,
+                body_avail);
+    payload_metrics().bytes_copied.fetch_add(body_avail,
+                                             std::memory_order_relaxed);
+    direct_have_ = body_avail;
+    direct_header_ = *header;
+    in_direct_ = true;
+    parsed_ += kFrameHeaderBytes + body_avail;
+    return Status::Ok();
+  }
 }
 
 Status FrameAssembler::advance(std::size_t n) {
   if (poisoned_) {
     return Status::FailedPrecondition("assembler poisoned");
   }
+  if (chunk_ == 0) return advance_legacy(n);
+  if (in_direct_) {
+    const std::size_t want = direct_header_.body_len - direct_have_;
+    if (n > want) {
+      return Status::InvalidArgument("advance past frame boundary");
+    }
+    direct_have_ += n;
+    if (direct_have_ == direct_header_.body_len) {
+      Frame f;
+      f.header = direct_header_;
+      f.body = PayloadBuffer::adopt(std::move(direct_block_));
+      ready_frames_.push_back(std::move(f));
+      in_direct_ = false;
+      direct_have_ = 0;
+      // Bytes after the large body may already sit in the read buffer.
+      return parse();
+    }
+    return Status::Ok();
+  }
+  // Geometry was fixed by next_span() (which the caller recv'd into);
+  // recycling or rotating here would invalidate the bytes just written.
+  if (base_ == nullptr || n > chunk_ - filled_) {
+    if (n == 0) return Status::Ok();
+    return Status::InvalidArgument("advance past buffer capacity");
+  }
+  filled_ += n;
+  return parse();
+}
+
+Status FrameAssembler::advance_legacy(std::size_t n) {
   if (ready_ || n > next_span().size()) {
     return Status::InvalidArgument("advance past frame boundary");
   }
@@ -63,10 +203,8 @@ Status FrameAssembler::advance(std::size_t n) {
   if (!in_body_) {
     if (have_ < kFrameHeaderBytes) return Status::Ok();
     auto header = decode_frame_header({header_bytes_, kFrameHeaderBytes},
-                                      max_body_);
+                                      opts_.max_body);
     if (!header.ok()) {
-      // A byte stream with a corrupt header cannot be resynchronized;
-      // refuse all further input so the caller drops the connection.
       poisoned_ = true;
       return header.status();
     }
@@ -85,6 +223,11 @@ Status FrameAssembler::advance(std::size_t n) {
 }
 
 Frame FrameAssembler::take_frame() {
+  if (chunk_ > 0) {
+    Frame f = std::move(ready_frames_.front());
+    ready_frames_.pop_front();
+    return f;
+  }
   Frame f;
   f.header = header_;
   // The body vector the socket read into becomes the frame's backing
@@ -95,6 +238,11 @@ Frame FrameAssembler::take_frame() {
   in_body_ = false;
   ready_ = false;
   return f;
+}
+
+bool FrameAssembler::mid_frame() const {
+  if (chunk_ == 0) return have_ > 0 && !ready_;
+  return in_direct_ || filled_ > parsed_;
 }
 
 }  // namespace corec::rpc

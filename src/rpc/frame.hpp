@@ -1,22 +1,30 @@
 // Length-prefixed binary RPC framing. Every message on a CoREC RPC
 // connection is one frame: a fixed 28-byte header (magic, protocol
 // version, opcode, status code, request id, body length, pool-map
-// version) followed by `body_len` body bytes. The body payload format is the existing
-// staging/wire encoding, so the RPC layer adds framing and routing but
-// no second serialization scheme.
+// version) followed by `body_len` body bytes. The body payload format
+// is the existing staging/wire encoding, so the RPC layer adds framing
+// and routing but no second serialization scheme.
 //
 // FrameAssembler rebuilds frames incrementally from whatever chunk
-// sizes the socket delivers (partial headers, partial bodies, one
-// frame per read — all shapes). It is zero-copy on the body: the
-// assembler hands the caller the exact destination span to recv()
-// into, allocates each body once, and releases it as a refcounted
-// PayloadBuffer, so a put payload can flow from the socket read
-// straight into the sharded store without another memcpy.
+// sizes the socket delivers (partial headers, partial bodies, many
+// frames per read — all shapes). In its default *buffered* mode it
+// recv()s into a pooled read buffer (read_chunk_bytes at a time) and
+// slices every complete frame out of it per advance(), so a pipelined
+// burst costs one syscall for many frames. Small bodies are zero-copy
+// refcounted sub-views of the read buffer — the buffer is parked until
+// the last sliced body releases it — while bodies above
+// inline_body_cutover that are still mid-flight switch to a direct
+// pool allocation so a multi-MiB put never pins (or overflows) the
+// read buffer. With read_chunk_bytes == 0 the assembler runs the
+// legacy unbuffered protocol: one exact span per header/body, used by
+// parity tests as the reference behavior.
 #pragma once
 
 #include <cstdint>
+#include <deque>
 
 #include "common/buffer.hpp"
+#include "common/slab.hpp"
 #include "common/status.hpp"
 
 namespace corec::rpc {
@@ -36,6 +44,14 @@ inline constexpr std::size_t kFrameHeaderBytes = 28;
 /// rejected before any allocation, so a corrupt or hostile length
 /// field can neither over-allocate nor stall the connection.
 inline constexpr std::size_t kDefaultMaxFrameBytes = 64ull << 20;
+
+/// Default pooled read-buffer size for buffered assembly.
+inline constexpr std::size_t kDefaultReadChunkBytes = 256u << 10;
+
+/// Default cutover: a body at most this large assembles inside the
+/// read buffer (zero-copy slice); a larger body still mid-flight
+/// switches to its own direct allocation.
+inline constexpr std::size_t kDefaultInlineBodyCutover = 64u << 10;
 
 /// Fixed per-frame metadata.
 struct FrameHeader {
@@ -61,11 +77,24 @@ void encode_frame_header(const FrameHeader& header, Bytes* out);
 StatusOr<FrameHeader> decode_frame_header(ByteSpan bytes,
                                           std::size_t max_body);
 
-/// One fully reassembled frame. The body is the single allocation the
-/// assembler read into; slices of it share that backing store.
+/// One fully reassembled frame. In buffered mode a small body is a
+/// refcounted slice of the connection's read buffer (several frames
+/// from one recv share that store); a large body owns its own pooled
+/// allocation.
 struct Frame {
   FrameHeader header;
   PayloadBuffer body;
+};
+
+/// Tuning for FrameAssembler.
+struct FrameAssemblerOptions {
+  /// Ceiling on declared body length.
+  std::size_t max_body = kDefaultMaxFrameBytes;
+  /// Pooled read-buffer size; 0 selects the legacy unbuffered mode
+  /// (one exact span per header/body stage).
+  std::size_t read_chunk_bytes = kDefaultReadChunkBytes;
+  /// Largest body assembled in place inside the read buffer.
+  std::size_t inline_body_cutover = kDefaultInlineBodyCutover;
 };
 
 /// Incremental frame reassembly for one connection.
@@ -76,17 +105,20 @@ struct Frame {
 ///   COREC_RETURN_IF_ERROR(asm.advance(n));
 ///   while (asm.frame_ready()) handle(asm.take_frame());
 ///
-/// next_span() always points at the bytes the current frame still
-/// needs (header remainder or body remainder), so the assembler never
-/// reads past a frame boundary and never copies between staging
-/// buffers.
+/// In buffered mode next_span() is the free tail of the pooled read
+/// buffer, so one recv() can deliver many frames; advance() parses
+/// them all and queues them for take_frame(). next_span() is empty
+/// only after a protocol error has poisoned the assembler (legacy mode
+/// additionally returns an empty span while a completed frame waits to
+/// be taken, since it has exactly one frame of staging space).
 class FrameAssembler {
  public:
-  explicit FrameAssembler(std::size_t max_body = kDefaultMaxFrameBytes)
-      : max_body_(max_body) {}
+  FrameAssembler() : FrameAssembler(FrameAssemblerOptions{}) {}
+  explicit FrameAssembler(FrameAssemblerOptions opts);
+  /// Legacy convenience: buffered defaults with a custom body ceiling.
+  explicit FrameAssembler(std::size_t max_body);
 
-  /// Destination for the next socket read. Empty while a completed
-  /// frame is waiting to be taken.
+  /// Destination for the next socket read.
   MutableByteSpan next_span();
 
   /// Records that `n` bytes were read into next_span(). Fails (and
@@ -94,24 +126,59 @@ class FrameAssembler {
   /// be dropped — resynchronizing inside a byte stream is impossible.
   Status advance(std::size_t n);
 
-  bool frame_ready() const { return ready_; }
+  /// True while at least one completed frame is queued.
+  bool frame_ready() const { return !ready_frames_.empty() || ready_; }
 
-  /// Pops the completed frame. Precondition: frame_ready().
+  /// Pops the oldest completed frame. Precondition: frame_ready().
   Frame take_frame();
 
   /// True when a frame is partially assembled (a peer dying now dies
-  /// mid-frame).
-  bool mid_frame() const { return have_ > 0 && !ready_; }
+  /// mid-frame). Completed-but-untaken frames do not count.
+  bool mid_frame() const;
+
+  /// True when running the buffered multi-frame protocol.
+  bool buffered() const { return chunk_ > 0; }
 
  private:
-  std::size_t max_body_;
+  // Buffered mode: ensures the read buffer exists and has free tail
+  // space, recycling in place when fully parsed and unshared, or
+  // rotating to a fresh pooled buffer (carrying the unparsed remnant)
+  // when full or parked by outstanding body slices.
+  void ensure_buffer();
+  // Buffered mode: slices every complete frame out of [parsed_,
+  // filled_), switching to direct assembly for large mid-flight
+  // bodies. Poisons on malformed headers.
+  Status parse();
+  Status advance_legacy(std::size_t n);
+
+  FrameAssemblerOptions opts_;
+  std::size_t chunk_ = 0;    // normalized read buffer size; 0 = legacy
+  std::size_t cutover_ = 0;  // normalized inline cutover
+  bool poisoned_ = false;
+
+  // --- Buffered mode state ---
+  // The current read buffer, held as a full-store view so body slices
+  // can share its Rep. base_ is captured at adoption (before any
+  // slices exist) because writing the free tail must not trigger the
+  // copy-on-write path that mutable_span() would take once shared.
+  PayloadBuffer buf_;
+  std::uint8_t* base_ = nullptr;
+  std::size_t filled_ = 0;  // bytes received into the buffer
+  std::size_t parsed_ = 0;  // bytes consumed by completed frames
+  std::deque<Frame> ready_frames_;
+  // Direct assembly of one large body (> cutover_, arrived partially).
+  bool in_direct_ = false;
+  FrameHeader direct_header_;
+  slab::Block direct_block_;
+  std::size_t direct_have_ = 0;
+
+  // --- Legacy (unbuffered) mode state ---
   std::uint8_t header_bytes_[kFrameHeaderBytes] = {};
   FrameHeader header_;
   Bytes body_;
   std::size_t have_ = 0;  // bytes of the current stage (header or body)
   bool in_body_ = false;
   bool ready_ = false;
-  bool poisoned_ = false;
 };
 
 }  // namespace corec::rpc

@@ -4,6 +4,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdio>
 #include <utility>
@@ -25,6 +26,19 @@ std::size_t resolve_num_loops(std::size_t requested) {
   const std::size_t hw = std::thread::hardware_concurrency();
   const std::size_t cap = hw == 0 ? 1 : hw;
   return cap < 4 ? cap : 4;
+}
+
+// Histogram bucket for `frames` completed by one data-bearing recv:
+// 0, 1, 2, 3–4, 5–8, 9–16, 17–32, 33+.
+std::size_t recv_batch_bucket(std::size_t frames) {
+  if (frames <= 2) return frames;
+  std::size_t bucket = 3;
+  std::size_t upper = 4;
+  while (frames > upper && bucket + 1 < kRecvBatchBuckets) {
+    upper *= 2;
+    ++bucket;
+  }
+  return bucket;
 }
 
 }  // namespace
@@ -107,6 +121,10 @@ ServerStatsSnapshot Server::stats() const {
     l.bytes_in = shard->bytes_in.load(std::memory_order_relaxed);
     l.bytes_out = shard->bytes_out.load(std::memory_order_relaxed);
     l.recv_calls = shard->recv_calls.load(std::memory_order_relaxed);
+    l.recv_data_calls =
+        shard->recv_data_calls.load(std::memory_order_relaxed);
+    l.recv_eagain_calls =
+        shard->recv_eagain_calls.load(std::memory_order_relaxed);
     l.writev_calls = shard->writev_calls.load(std::memory_order_relaxed);
     l.payload_chunks =
         shard->payload_chunks.load(std::memory_order_relaxed);
@@ -115,12 +133,19 @@ ServerStatsSnapshot Server::stats() const {
           shard->writev_batch_hist[b].load(std::memory_order_relaxed);
       s.writev_batch_hist[b] += l.writev_batch_hist[b];
     }
+    for (std::size_t b = 0; b < kRecvBatchBuckets; ++b) {
+      l.recv_batch_hist[b] =
+          shard->recv_batch_hist[b].load(std::memory_order_relaxed);
+      s.recv_batch_hist[b] += l.recv_batch_hist[b];
+    }
     s.active += l.connections;
     s.frames_in += l.frames_in;
     s.frames_out += l.frames_out;
     s.bytes_in += l.bytes_in;
     s.bytes_out += l.bytes_out;
     s.recv_calls += l.recv_calls;
+    s.recv_data_calls += l.recv_data_calls;
+    s.recv_eagain_calls += l.recv_eagain_calls;
     s.writev_calls += l.writev_calls;
     s.payload_chunks += l.payload_chunks;
     s.per_loop.push_back(l);
@@ -205,8 +230,11 @@ void Server::adopt_connection(std::size_t loop_index, int fd) {
   WriteQueueOptions wq;
   wq.segment_bytes = options_.max_segment_bytes;
   wq.flush_budget_bytes = options_.max_segment_bytes * 4;
-  auto conn = std::make_shared<Connection>(fd, loop_index,
-                                           options_.max_frame_bytes, wq);
+  FrameAssemblerOptions fa;
+  fa.max_body = options_.max_frame_bytes;
+  fa.read_chunk_bytes = options_.read_chunk_bytes;
+  fa.inline_body_cutover = options_.inline_body_cutover;
+  auto conn = std::make_shared<Connection>(fd, loop_index, fa, wq);
   // EPOLLRDHUP is part of the permanent interest set: a client that
   // dies while its reads are paused is reaped on the event instead of
   // lingering until the next failed write.
@@ -254,11 +282,17 @@ void Server::on_readable(const ConnPtr& conn) {
       return;
     }
     if (n < 0) {
-      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // Wakeup probe that found no bytes: tracked separately so the
+        // recv-per-frame gate divides by *data-bearing* reads only.
+        shard.recv_eagain_calls.fetch_add(1, std::memory_order_relaxed);
+        break;
+      }
       if (errno == EINTR) continue;
       close_connection(conn);
       return;
     }
+    shard.recv_data_calls.fetch_add(1, std::memory_order_relaxed);
     if (auto hit = COREC_FAILPOINT("rpc.server.read")) {
       injected_failures_.fetch_add(1, std::memory_order_relaxed);
       if (hit.action == failpoint::Action::kDelay) {
@@ -279,7 +313,9 @@ void Server::on_readable(const ConnPtr& conn) {
       close_connection(conn);
       return;
     }
+    std::uint64_t frames_this_recv = 0;
     while (conn->assembler.frame_ready()) {
+      ++frames_this_recv;
       handle_frame(conn, conn->assembler.take_frame());
       if (conn->closed) return;
       if (conn->write_queue.queued_bytes() >=
@@ -288,6 +324,8 @@ void Server::on_readable(const ConnPtr& conn) {
         if (conn->closed) return;
       }
     }
+    shard.recv_batch_hist[recv_batch_bucket(frames_this_recv)].fetch_add(
+        1, std::memory_order_relaxed);
   }
   // One flush per readable event: a pipelined client's burst of
   // requests has all been consumed by the time recv hits EAGAIN, so
@@ -369,8 +407,14 @@ OutFrame Server::execute(const FrameHeader& header,
     case OpCode::kPut: {
       auto req = decode_put_request(body);
       if (!req.ok()) return error_response(header, req.status());
+      // A small body sliced out of the connection's read buffer must
+      // not park that whole buffer in the store; compact it into its
+      // own pooled allocation. A direct-assembled large body wastes
+      // only the encoded metadata prefix and stays zero-copy.
+      PayloadBuffer payload = req->payload.compacted(
+          std::max<std::size_t>(4096, req->payload.size()));
       DataObject obj = DataObject::with_checksum(
-          req->desc, req->payload, req->checksum);
+          req->desc, payload, req->checksum);
       const ServerId primary = fabric_.route(req->desc);
       Status st = fabric_.put(primary, std::move(obj), req->kind);
       if (st.ok()) {

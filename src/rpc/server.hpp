@@ -7,9 +7,17 @@
 // on the fabric's worker pool, with completions posted back to the
 // *owning* loop through its eventfd.
 //
+// Read path: each connection recv()s into a pooled read buffer
+// (read_chunk_bytes), so a pipelined burst of small frames costs one
+// data-bearing syscall for many frames (recv_syscalls_per_frame < 1).
+// Small request bodies arrive as zero-copy slices of that buffer;
+// bodies above inline_body_cutover assemble directly into their own
+// pooled allocation. Stored put payloads are compacted off the read
+// buffer when the slice would park a mostly-idle store.
+//
 // Data-path zero-copy both ways:
-//   * put — the frame body is the single allocation the socket was
-//     read into; the stored payload is a slice of it (no memcpy);
+//   * put — a large body is the single pooled allocation the socket
+//     was read into; the stored payload is a slice of it (no memcpy);
 //   * get — the response is a small encoded head plus the store's
 //     refcounted payload view, shipped as scatter-gather segments; the
 //     only copy of the payload is the kernel socket write.
@@ -60,12 +68,24 @@ struct ServerOptions {
   /// acceptor assigns each new connection to the least-loaded loop.
   std::size_t num_loops = 0;
   std::size_t max_frame_bytes = kDefaultMaxFrameBytes;
+  /// Pooled per-connection read-buffer size; one recv() can deliver
+  /// many frames. 0 selects the legacy unbuffered assembler (one exact
+  /// span per header/body) — parity tests compare against it.
+  std::size_t read_chunk_bytes = kDefaultReadChunkBytes;
+  /// Largest request body assembled in place inside the read buffer
+  /// (zero-copy slice); larger mid-flight bodies get a direct pooled
+  /// allocation.
+  std::size_t inline_body_cutover = kDefaultInlineBodyCutover;
   /// Write-queue bound per connection before reads pause.
   std::size_t max_write_queue_bytes = 32u << 20;
   /// Payload slice cap per write segment (chunked large-object
   /// streaming); also sets the per-flush byte budget (4 segments).
   std::size_t max_segment_bytes = 1u << 20;
 };
+
+/// Frames-per-recv histogram buckets: 0 (partial), 1, 2, 3–4, 5–8,
+/// 9–16, 17–32, 33+.
+inline constexpr std::size_t kRecvBatchBuckets = 8;
 
 /// Per-loop transport counters (relaxed; exact at quiesce).
 struct LoopStatsSnapshot {
@@ -74,11 +94,15 @@ struct LoopStatsSnapshot {
   std::uint64_t frames_out = 0;
   std::uint64_t bytes_in = 0;
   std::uint64_t bytes_out = 0;
-  std::uint64_t recv_calls = 0;
+  std::uint64_t recv_calls = 0;       // total recv() syscalls
+  std::uint64_t recv_data_calls = 0;  // recv() that returned bytes
+  std::uint64_t recv_eagain_calls = 0;  // wakeup probes (EAGAIN)
   std::uint64_t writev_calls = 0;
   std::uint64_t payload_chunks = 0;  // payload iovec slices shipped
   /// Frames per sendmsg: 1, 2, 3–4, 5–8, 9–16, 17–32, 33–64, 65+.
   std::array<std::uint64_t, kWritevBatchBuckets> writev_batch_hist{};
+  /// Frames completed per data-bearing recv: 0, 1, 2, 3–4, … 33+.
+  std::array<std::uint64_t, kRecvBatchBuckets> recv_batch_hist{};
 };
 
 /// Operation + transport counters, aggregated over every loop.
@@ -90,6 +114,8 @@ struct ServerStatsSnapshot {
   std::uint64_t bytes_in = 0;
   std::uint64_t bytes_out = 0;
   std::uint64_t recv_calls = 0;
+  std::uint64_t recv_data_calls = 0;
+  std::uint64_t recv_eagain_calls = 0;
   std::uint64_t writev_calls = 0;
   std::uint64_t payload_chunks = 0;
   std::uint64_t protocol_errors = 0;   // bad magic/version/opcode/body
@@ -97,6 +123,7 @@ struct ServerStatsSnapshot {
   std::uint64_t accept_pauses = 0;  // EMFILE/ENFILE park episodes
   std::uint64_t injected_failures = 0;  // failpoint-forced drops/errors
   std::array<std::uint64_t, kWritevBatchBuckets> writev_batch_hist{};
+  std::array<std::uint64_t, kRecvBatchBuckets> recv_batch_hist{};
   std::vector<LoopStatsSnapshot> per_loop;
 };
 
@@ -133,9 +160,9 @@ class Server {
 
  private:
   struct Connection {
-    Connection(int fd_in, std::size_t loop_in, std::size_t max_body,
+    Connection(int fd_in, std::size_t loop_in, FrameAssemblerOptions fa,
                WriteQueueOptions wq)
-        : fd(fd_in), loop(loop_in), assembler(max_body), write_queue(wq) {}
+        : fd(fd_in), loop(loop_in), assembler(fa), write_queue(wq) {}
     int fd;
     std::size_t loop;  // owning loop shard; all state below is its
     FrameAssembler assembler;
@@ -159,10 +186,14 @@ class Server {
     std::atomic<std::uint64_t> bytes_in{0};
     std::atomic<std::uint64_t> bytes_out{0};
     std::atomic<std::uint64_t> recv_calls{0};
+    std::atomic<std::uint64_t> recv_data_calls{0};
+    std::atomic<std::uint64_t> recv_eagain_calls{0};
     std::atomic<std::uint64_t> writev_calls{0};
     std::atomic<std::uint64_t> payload_chunks{0};
     std::array<std::atomic<std::uint64_t>, kWritevBatchBuckets>
         writev_batch_hist{};
+    std::array<std::atomic<std::uint64_t>, kRecvBatchBuckets>
+        recv_batch_hist{};
   };
 
   void on_accept();

@@ -182,4 +182,21 @@ Status recv_exact(int fd, MutableByteSpan out, int deadline_ms) {
   return Status::Ok();
 }
 
+StatusOr<std::size_t> recv_some(int fd, MutableByteSpan out,
+                                Clock::time_point deadline) {
+  for (;;) {
+    const ssize_t n = ::recv(fd, out.data(), out.size(), 0);
+    if (n > 0) return static_cast<std::size_t>(n);
+    if (n == 0) {
+      return Status::Unavailable("recv: connection closed by peer");
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      COREC_RETURN_IF_ERROR(poll_for(fd, POLLIN, deadline, "recv"));
+      continue;
+    }
+    if (errno == EINTR) continue;
+    return Status::Unavailable(errno_string("recv"));
+  }
+}
+
 }  // namespace corec::rpc

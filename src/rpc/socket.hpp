@@ -4,6 +4,7 @@
 // so the callers stay in the repo's error vocabulary.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <string>
 #include <utility>
@@ -65,5 +66,13 @@ Status send_all(int fd, ByteSpan data, int deadline_ms);
 /// Receives exactly `out.size()` bytes, polling for readability until
 /// the deadline. Unavailable on EOF, reset, or timeout.
 Status recv_exact(int fd, MutableByteSpan out, int deadline_ms);
+
+/// One read of up to `out.size()` bytes, polling for readability until
+/// the absolute `deadline`. Returns the (positive) byte count;
+/// Unavailable on EOF, reset, or timeout. Buffered frame receives call
+/// this in a loop so one shared deadline covers the whole frame.
+StatusOr<std::size_t> recv_some(
+    int fd, MutableByteSpan out,
+    std::chrono::steady_clock::time_point deadline);
 
 }  // namespace corec::rpc

@@ -10,11 +10,15 @@
 # A second phase sweeps the C10k plane: connection counts 64..4096,
 # single-loop vs multi-loop servers, pipelined clients (depth 8 per
 # connection). Each cell restarts the server so its shutdown stats line
-# (writev syscalls-per-frame, frames-per-writev histogram, per-loop
-# frame counts) can be scraped into the record. The sweep fails the
-# script if the multi-loop p99 regresses past FACTOR x the single-loop
-# p99 at >= 1024 connections — sharding the event loop must never make
-# tail latency worse.
+# (writev syscalls-per-frame, data-bearing recv syscalls-per-frame,
+# frames-per-recv/writev histograms, slab-pool hit/miss counters,
+# per-loop frame counts) can be scraped into the record. The sweep
+# fails the script if the multi-loop p99 regresses past FACTOR x the
+# single-loop p99 at >= 1024 connections — sharding the event loop must
+# never make tail latency worse — or if the buffered receive path stops
+# batching: at pipeline depth >= 8 every cell must complete frames with
+# < 1.0 data-bearing recv syscalls per frame, and steady-state slab
+# pool misses must stay ~0 per frame.
 #
 # Usage: bench_rpc_json.sh <micro_rpc-binary> <corec-server-binary> [out.json]
 #
@@ -26,6 +30,12 @@
 #   BENCH_RPC_C10K_SECONDS   measured seconds per cell (default 2)
 #   BENCH_RPC_C10K_P99_FACTOR  regression tolerance (default 1.5; 2.0 when
 #                              nproc=1, where extra loops only add scheduling)
+#   BENCH_RPC_RECV_PF_MAX   recv-per-frame ceiling at depth >= 8 (default 1.0)
+#   BENCH_RPC_POOL_MISS_PF_MAX  pool-miss-per-frame ceiling (default 0.1;
+#                               the allowance covers one-time warmup carves —
+#                               per-connection read buffers and the bounded
+#                               put-slot working set — which short cells
+#                               amortize over fewer frames)
 set -eu
 
 MICRO_RPC=${1:?usage: bench_rpc_json.sh micro_rpc corec-server [out.json]}
@@ -40,6 +50,8 @@ C10K_CONNS=${BENCH_RPC_C10K_CONNS:-"64 256 1024 4096"}
 C10K_LOOPS=${BENCH_RPC_C10K_LOOPS:-"1 4"}
 C10K_PIPELINE=${BENCH_RPC_C10K_PIPELINE:-8}
 C10K_SECONDS=${BENCH_RPC_C10K_SECONDS:-2}
+RECV_PF_MAX=${BENCH_RPC_RECV_PF_MAX:-1.0}
+POOL_MISS_PF_MAX=${BENCH_RPC_POOL_MISS_PF_MAX:-0.1}
 
 NPROC=$(nproc 2>/dev/null || echo 1)
 if [ "$NPROC" -le 1 ]; then
@@ -130,10 +142,17 @@ for LOOPS in $C10K_LOOPS; do
       "$(cat "$TMPDIR_JSON/c10k_${LOOPS}_${CONNS}.json")" "$SERVER_STATS")
     CELLS="${CELLS:+$CELLS,
 }$CELL"
-    # Keep the per-cell p99 around for the regression gate.
+    # Keep the per-cell p99 and receive-path stats around for the gates.
     sed -n 's/.*"p99_us":\([0-9.]*\).*/\1/p' \
       "$TMPDIR_JSON/c10k_${LOOPS}_${CONNS}.json" \
       > "$TMPDIR_JSON/p99_${LOOPS}_${CONNS}"
+    echo "$SERVER_STATS" | sed -n 's/.*"recv_per_frame":\([0-9.]*\).*/\1/p' \
+      > "$TMPDIR_JSON/recvpf_${LOOPS}_${CONNS}"
+    echo "$SERVER_STATS" \
+      | sed -n 's/.*"pool_miss_per_frame":\([0-9.]*\).*/\1/p' \
+      > "$TMPDIR_JSON/poolpf_${LOOPS}_${CONNS}"
+    echo "$SERVER_STATS" | sed -n 's/.*"frames_in":\([0-9]*\).*/\1/p' \
+      > "$TMPDIR_JSON/framesin_${LOOPS}_${CONNS}"
   done
 done
 
@@ -162,6 +181,37 @@ for LOOPS in $C10K_LOOPS; do
   done
 done
 
+# ---- buffered-receive gate -----------------------------------------------
+# At pipeline depth >= 8 the buffered read path must complete frames
+# with fewer than RECV_PF_MAX data-bearing recv syscalls per frame, and
+# the warm slab pool must keep heap carves ~0 per frame, in every cell
+# that actually moved frames.
+
+RECV_CHECKS=
+RECV_FAIL=0
+if [ "$C10K_PIPELINE" -ge 8 ]; then
+  for LOOPS in $C10K_LOOPS; do
+    for CONNS in $C10K_CONNS; do
+      FRAMES=$(cat "$TMPDIR_JSON/framesin_${LOOPS}_${CONNS}")
+      RECV_PF=$(cat "$TMPDIR_JSON/recvpf_${LOOPS}_${CONNS}")
+      POOL_PF=$(cat "$TMPDIR_JSON/poolpf_${LOOPS}_${CONNS}")
+      [ -n "$FRAMES" ] && [ "$FRAMES" -gt 0 ] || continue
+      [ -n "$RECV_PF" ] && [ -n "$POOL_PF" ] || continue
+      OK=$(awk -v r="$RECV_PF" -v p="$POOL_PF" \
+        -v rmax="$RECV_PF_MAX" -v pmax="$POOL_MISS_PF_MAX" \
+        'BEGIN { print (r < rmax && p <= pmax) ? "true" : "false" }')
+      [ "$OK" = "true" ] || RECV_FAIL=1
+      CHECK=$(printf \
+        '{"connections":%s,"loops":%s,"recv_per_frame":%s,"pool_miss_per_frame":%s,"ok":%s}' \
+        "$CONNS" "$LOOPS" "$RECV_PF" "$POOL_PF" "$OK")
+      RECV_CHECKS="${RECV_CHECKS:+$RECV_CHECKS,}$CHECK"
+      echo "recv gate: conns=$CONNS loops=$LOOPS" \
+        "recv/frame=$RECV_PF (max $RECV_PF_MAX)" \
+        "pool-miss/frame=$POOL_PF (max $POOL_MISS_PF_MAX) -> ok=$OK"
+    done
+  done
+fi
+
 {
   printf '{\n"bench": "rpc_loopback",\n'
   printf '"transport": "tcp length-prefixed frames, 4 server shards, pool dispatch",\n'
@@ -173,9 +223,13 @@ done
   printf '"clients": %s,\n' "$CLIENTS"
   printf '"nproc": %s,\n' "$NPROC"
   printf '"cells": [\n%s\n],\n' "$CELLS"
-  printf '"p99_gate": {"factor": %s, "checks": [%s], "pass": %s}\n' \
+  printf '"p99_gate": {"factor": %s, "checks": [%s], "pass": %s},\n' \
     "$P99_FACTOR" "$GATE_CHECKS" \
     "$([ "$GATE_FAIL" -eq 0 ] && echo true || echo false)"
+  printf \
+    '"recv_gate": {"recv_per_frame_max": %s, "pool_miss_per_frame_max": %s, "checks": [%s], "pass": %s}\n' \
+    "$RECV_PF_MAX" "$POOL_MISS_PF_MAX" "$RECV_CHECKS" \
+    "$([ "$RECV_FAIL" -eq 0 ] && echo true || echo false)"
   printf '}\n}\n'
 } > "$OUT"
 
@@ -183,5 +237,11 @@ echo "wrote $OUT"
 if [ "$GATE_FAIL" -ne 0 ]; then
   echo "FAIL: multi-loop p99 regressed past ${P99_FACTOR}x single-loop" \
     "at >= 1024 connections" >&2
+  exit 1
+fi
+if [ "$RECV_FAIL" -ne 0 ]; then
+  echo "FAIL: buffered receive path regressed — recv/frame >=" \
+    "$RECV_PF_MAX or pool-miss/frame > $POOL_MISS_PF_MAX at pipeline" \
+    "depth $C10K_PIPELINE" >&2
   exit 1
 fi

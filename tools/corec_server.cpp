@@ -42,6 +42,11 @@ void usage() {
       "  --segment BYTES     payload slice cap per write segment\n"
       "                      (default 1 MiB)\n"
       "  --max-frame BYTES   frame body ceiling (default 64 MiB)\n"
+      "  --read-chunk BYTES  pooled per-connection read buffer; one\n"
+      "                      recv can deliver many frames (default\n"
+      "                      256 KiB; 0 = legacy unbuffered reads)\n"
+      "  --read-cutover B    largest body assembled inside the read\n"
+      "                      buffer (default 64 KiB)\n"
       "  --failpoints SPEC   arm fault-injection points\n");
 }
 
@@ -90,6 +95,12 @@ int main(int argc, char** argv) {
           static_cast<std::size_t>(std::atoll(next()));
     } else if (a == "--max-frame") {
       options.max_frame_bytes = static_cast<std::size_t>(std::atoll(next()));
+    } else if (a == "--read-chunk") {
+      options.read_chunk_bytes =
+          static_cast<std::size_t>(std::atoll(next()));
+    } else if (a == "--read-cutover") {
+      options.inline_body_cutover =
+          static_cast<std::size_t>(std::atoll(next()));
     } else if (a == "--failpoints") {
       failpoints = next();
     } else {
@@ -155,31 +166,78 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(rpc.accept_pauses),
       static_cast<unsigned long long>(rpc.injected_failures));
   // Machine-readable transport record (bench_rpc_json.sh scrapes it):
-  // per-loop syscall efficiency, the writev frames-per-call histogram,
-  // and the headline syscalls-per-frame ratio.
+  // per-loop syscall efficiency on both directions (writev coalescing
+  // out, buffered multi-frame reads in), the frames-per-call
+  // histograms, and the slab-allocator counters.
+  const auto& pm = corec::payload_metrics();
+  const std::uint64_t pool_hits =
+      pm.pool_hits.load(std::memory_order_relaxed);
+  const std::uint64_t pool_misses =
+      pm.pool_misses.load(std::memory_order_relaxed);
+  const std::uint64_t pool_oversize =
+      pm.pool_oversize.load(std::memory_order_relaxed);
+  const long long pool_outstanding =
+      pm.pool_outstanding_bytes.load(std::memory_order_relaxed);
   std::printf("corec-server stats {\"loops\":%zu,\"accepted\":%llu,"
-              "\"frames_out\":%llu,\"recv_calls\":%llu,"
+              "\"frames_in\":%llu,\"frames_out\":%llu,"
+              "\"recv_calls\":%llu,\"recv_data_calls\":%llu,"
+              "\"recv_eagain_calls\":%llu,\"recv_per_frame\":%.4f,"
               "\"writev_calls\":%llu,\"payload_chunks\":%llu,"
-              "\"writev_per_frame\":%.4f,\"batch_hist\":[",
+              "\"writev_per_frame\":%.4f,"
+              "\"pool_hits\":%llu,\"pool_misses\":%llu,"
+              "\"pool_oversize\":%llu,\"pool_outstanding_bytes\":%lld,"
+              "\"pool_miss_per_frame\":%.4f,\"batch_hist\":[",
               server.num_loops(),
               static_cast<unsigned long long>(rpc.accepted),
+              static_cast<unsigned long long>(rpc.frames_in),
               static_cast<unsigned long long>(rpc.frames_out),
               static_cast<unsigned long long>(rpc.recv_calls),
+              static_cast<unsigned long long>(rpc.recv_data_calls),
+              static_cast<unsigned long long>(rpc.recv_eagain_calls),
+              rpc.frames_in == 0
+                  ? 0.0
+                  : static_cast<double>(rpc.recv_data_calls) /
+                        static_cast<double>(rpc.frames_in),
               static_cast<unsigned long long>(rpc.writev_calls),
               static_cast<unsigned long long>(rpc.payload_chunks),
               rpc.frames_out == 0
                   ? 0.0
                   : static_cast<double>(rpc.writev_calls) /
-                        static_cast<double>(rpc.frames_out));
+                        static_cast<double>(rpc.frames_out),
+              static_cast<unsigned long long>(pool_hits),
+              static_cast<unsigned long long>(pool_misses),
+              static_cast<unsigned long long>(pool_oversize),
+              pool_outstanding,
+              rpc.frames_in == 0
+                  ? 0.0
+                  : static_cast<double>(pool_misses) /
+                        static_cast<double>(rpc.frames_in));
   for (std::size_t b = 0; b < corec::rpc::kWritevBatchBuckets; ++b) {
     std::printf("%s%llu", b == 0 ? "" : ",",
                 static_cast<unsigned long long>(rpc.writev_batch_hist[b]));
+  }
+  std::printf("],\"recv_hist\":[");
+  for (std::size_t b = 0; b < corec::rpc::kRecvBatchBuckets; ++b) {
+    std::printf("%s%llu", b == 0 ? "" : ",",
+                static_cast<unsigned long long>(rpc.recv_batch_hist[b]));
   }
   std::printf("],\"per_loop_frames_out\":[");
   for (std::size_t i = 0; i < rpc.per_loop.size(); ++i) {
     std::printf("%s%llu", i == 0 ? "" : ",",
                 static_cast<unsigned long long>(
                     rpc.per_loop[i].frames_out));
+  }
+  std::printf("],\"per_loop_recv_data\":[");
+  for (std::size_t i = 0; i < rpc.per_loop.size(); ++i) {
+    std::printf("%s%llu", i == 0 ? "" : ",",
+                static_cast<unsigned long long>(
+                    rpc.per_loop[i].recv_data_calls));
+  }
+  std::printf("],\"per_loop_recv_eagain\":[");
+  for (std::size_t i = 0; i < rpc.per_loop.size(); ++i) {
+    std::printf("%s%llu", i == 0 ? "" : ",",
+                static_cast<unsigned long long>(
+                    rpc.per_loop[i].recv_eagain_calls));
   }
   std::printf("]}\n");
   return 0;
